@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Shared helpers for the bench harnesses: benchmark selection (fast set
+ * by default, full 19-row suite with QUCLEAR_FULL=1) and paper reference
+ * values for side-by-side comparison.
+ */
+#ifndef QUCLEAR_BENCH_BENCH_COMMON_HPP
+#define QUCLEAR_BENCH_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "benchgen/suite.hpp"
+#include "util/table_printer.hpp"
+
+namespace quclear::bench {
+
+/** True when the QUCLEAR_FULL environment variable is set to 1. */
+inline bool
+fullSuiteRequested()
+{
+    const char *env = std::getenv("QUCLEAR_FULL");
+    return env != nullptr && std::string(env) == "1";
+}
+
+/** Benchmark names to run, honoring QUCLEAR_FULL. */
+inline std::vector<std::string>
+selectedBenchmarks()
+{
+    return fullSuiteRequested() ? allBenchmarkNames()
+                                : fastBenchmarkNames();
+}
+
+/**
+ * Write a table as CSV into $QUCLEAR_CSV_DIR/<name>.csv when that
+ * environment variable is set (for downstream plotting), mirroring the
+ * original artifact's JSON result files.
+ */
+inline void
+writeCsvIfRequested(const std::string &name, const TablePrinter &table)
+{
+    const char *dir = std::getenv("QUCLEAR_CSV_DIR");
+    if (!dir)
+        return;
+    const std::string path = std::string(dir) + "/" + name + ".csv";
+    std::ofstream out(path);
+    if (out) {
+        out << table.toCsv();
+        std::printf("(csv written to %s)\n", path.c_str());
+    }
+}
+
+/** Paper-reported values for one Table II / Table III row. */
+struct PaperRow
+{
+    size_t paulis;       //!< Table II #Pauli
+    size_t nativeCnot;   //!< Table II #CNOT
+    size_t native1q;     //!< Table II #1Q
+    size_t quclearCnot;  //!< Table III QuCLEAR #CNOT
+    size_t quclearDepth; //!< Table III QuCLEAR entangling depth
+};
+
+/** Table II/III reference values from the paper (0 = not applicable). */
+inline PaperRow
+paperRow(const std::string &name)
+{
+    if (name == "UCC-(2,4)")
+        return { 24, 128, 264, 23, 17 };
+    if (name == "UCC-(2,6)")
+        return { 80, 544, 944, 106, 82 };
+    if (name == "UCC-(4,8)")
+        return { 320, 2624, 3968, 448, 335 };
+    if (name == "UCC-(6,12)")
+        return { 1656, 18048, 21096, 2580, 1832 };
+    if (name == "UCC-(8,16)")
+        return { 5376, 72960, 69120, 8820, 6153 };
+    if (name == "UCC-(10,20)")
+        return { 13400, 217600, 173000, 24302, 15979 };
+    if (name == "LiH")
+        return { 61, 254, 421, 74, 60 };
+    if (name == "H2O")
+        return { 184, 1088, 1624, 274, 189 };
+    if (name == "benzene")
+        return { 1254, 10060, 12390, 2470, 1481 };
+    if (name == "LABS-(n10)")
+        return { 80, 340, 100, 106, 76 };
+    if (name == "LABS-(n15)")
+        return { 267, 1316, 297, 385, 255 };
+    if (name == "LABS-(n20)")
+        return { 635, 3330, 675, 1052, 679 };
+    if (name == "MaxCut-(n15,r4)")
+        return { 45, 60, 75, 68, 32 };
+    if (name == "MaxCut-(n20,r4)")
+        return { 60, 80, 100, 88, 34 };
+    if (name == "MaxCut-(n20,r8)")
+        return { 100, 160, 140, 129, 59 };
+    if (name == "MaxCut-(n20,r12)")
+        return { 140, 240, 180, 172, 93 };
+    if (name == "MaxCut-(n10,e12)")
+        return { 22, 24, 42, 26, 21 };
+    if (name == "MaxCut-(n15,e63)")
+        return { 78, 126, 108, 93, 51 };
+    if (name == "MaxCut-(n20,e117)")
+        return { 137, 234, 177, 146, 65 };
+    return { 0, 0, 0, 0, 0 };
+}
+
+} // namespace quclear::bench
+
+#endif // QUCLEAR_BENCH_BENCH_COMMON_HPP

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Regenerates Fig. 10: per-feature breakdown of the CNOT reduction on
+ * UCC-(4,8) and MaxCut-(n20,r8). Stages:
+ *   1. native V-shape synthesis,
+ *   2. + Clifford Extraction with recursive tree synthesis
+ *      (optimized circuit + extracted tail still counted),
+ *   3. + commuting-block reordering,
+ *   4. + Clifford Absorption (the tail leaves the device circuit),
+ *   5. + local-rewrite optimization ("Qiskit O3" proxy).
+ */
+#include <cstdio>
+
+#include "baselines/naive_synthesis.hpp"
+#include "bench_common.hpp"
+#include "core/quclear.hpp"
+#include "transpile/pass_manager.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using namespace quclear;
+
+size_t
+extractionCount(const std::vector<PauliTerm> &terms, bool commuting,
+                bool absorbed, bool local_opt)
+{
+    ExtractionConfig config;
+    config.useCommutingBlocks = commuting;
+    const ExtractionResult result = CliffordExtractor(config).run(terms);
+    QuantumCircuit device = result.optimized;
+    if (local_opt)
+        PassManager::level3().run(device);
+    size_t count = device.twoQubitCount(true);
+    if (!absorbed)
+        count += result.extractedClifford.twoQubitCount(true);
+    return count;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace quclear::bench;
+
+    std::printf("=== Fig. 10: CNOT reduction per feature ===\n");
+    TablePrinter table({ "Benchmark", "native", "+extraction",
+                         "+commuting", "+absorption", "+localopt" });
+    for (const char *name : { "UCC-(4,8)", "MaxCut-(n20,r8)" }) {
+        const Benchmark b = makeBenchmark(name);
+        const size_t native = naiveSynthesis(b.terms).twoQubitCount(true);
+        const size_t extraction =
+            extractionCount(b.terms, false, false, false);
+        const size_t commuting =
+            extractionCount(b.terms, true, false, false);
+        const size_t absorption =
+            extractionCount(b.terms, true, true, false);
+        const size_t local = extractionCount(b.terms, true, true, true);
+        table.addRow({ name, std::to_string(native),
+                       std::to_string(extraction),
+                       std::to_string(commuting),
+                       std::to_string(absorption),
+                       std::to_string(local) });
+    }
+    std::fputs(table.toString().c_str(), stdout);
+    writeCsvIfRequested("fig10", table);
+    std::printf("(paper UCC-(4,8): 2624 -> 1014 -> 984 -> ~492 -> 448;\n"
+                " paper MaxCut-(n20,r8): 286 -> 258 -> 129 -> 129 within "
+                "its extraction pipeline)\n");
+    return 0;
+}

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the classical kernels whose
+ * complexity the paper quotes: tableau gate appends (O(n)), Pauli
+ * conjugation through a tableau (O(n^2) bound, Sec. V-D), CNOT-tree
+ * synthesis, full Clifford Extraction throughput, and CA-Post bitstring
+ * remapping (O(mk), Sec. VI-B).
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/absorption_post.hpp"
+#include "core/absorption_pre.hpp"
+#include "core/clifford_extractor.hpp"
+#include "core/diagonalization.hpp"
+#include "core/tree_synthesis.hpp"
+#include "mapping/devices.hpp"
+#include "mapping/sabre_router.hpp"
+#include "sim/statevector.hpp"
+#include "pauli/pauli_term.hpp"
+#include "tableau/clifford_tableau.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace quclear;
+
+PauliString
+randomPauli(uint32_t n, Rng &rng)
+{
+    PauliString p(n);
+    for (uint32_t q = 0; q < n; ++q)
+        p.setOp(q, static_cast<PauliOp>(rng.uniformInt(4)));
+    return p;
+}
+
+std::vector<PauliTerm>
+randomTerms(uint32_t n, size_t m, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<PauliTerm> terms;
+    while (terms.size() < m) {
+        PauliString p = randomPauli(n, rng);
+        if (!p.isIdentity())
+            terms.emplace_back(std::move(p), rng.uniformReal(-1, 1));
+    }
+    return terms;
+}
+
+void
+BM_TableauAppendCx(benchmark::State &state)
+{
+    const uint32_t n = static_cast<uint32_t>(state.range(0));
+    CliffordTableau t(n);
+    Rng rng(1);
+    for (auto _ : state) {
+        const uint32_t a = static_cast<uint32_t>(rng.uniformInt(n));
+        uint32_t b = static_cast<uint32_t>(rng.uniformInt(n));
+        if (b == a)
+            b = (a + 1) % n;
+        t.appendCX(a, b);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableauAppendCx)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_TableauConjugate(benchmark::State &state)
+{
+    const uint32_t n = static_cast<uint32_t>(state.range(0));
+    Rng rng(2);
+    CliffordTableau t(n);
+    for (uint32_t i = 0; i < 4 * n; ++i) {
+        const uint32_t a = static_cast<uint32_t>(rng.uniformInt(n));
+        const uint32_t b = (a + 1 + static_cast<uint32_t>(
+                                        rng.uniformInt(n - 1))) % n;
+        t.appendCX(a, b == a ? (a + 1) % n : b);
+        t.appendH(static_cast<uint32_t>(rng.uniformInt(n)));
+    }
+    const PauliString p = randomPauli(n, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(t.conjugate(p));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableauConjugate)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_TreeSynthesis(benchmark::State &state)
+{
+    const uint32_t n = static_cast<uint32_t>(state.range(0));
+    Rng rng(3);
+    const PauliString current = [&] {
+        PauliString p(n);
+        for (uint32_t q = 0; q < n; ++q)
+            p.setOp(q, PauliOp::Z);
+        return p;
+    }();
+    const PauliString look = randomPauli(n, rng);
+    for (auto _ : state) {
+        CliffordTableau acc(n);
+        QuantumCircuit tree(n);
+        TreeSynthesizer synth(acc, tree, { &look }, {});
+        benchmark::DoNotOptimize(synth.synthesize(current.support()));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TreeSynthesis)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_CliffordExtraction(benchmark::State &state)
+{
+    const uint32_t n = static_cast<uint32_t>(state.range(0));
+    const size_t m = static_cast<size_t>(state.range(1));
+    const auto terms = randomTerms(n, m, 4);
+    const CliffordExtractor extractor;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(extractor.run(terms));
+    state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_CliffordExtraction)
+    ->Args({ 8, 64 })
+    ->Args({ 16, 256 })
+    ->Args({ 20, 512 });
+
+void
+BM_AbsorbObservables(benchmark::State &state)
+{
+    const uint32_t n = 20;
+    const size_t k = static_cast<size_t>(state.range(0));
+    const auto terms = randomTerms(n, 128, 5);
+    const ExtractionResult ext = CliffordExtractor().run(terms);
+    Rng rng(6);
+    std::vector<PauliString> observables;
+    for (size_t i = 0; i < k; ++i)
+        observables.push_back(randomPauli(n, rng));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(absorbObservables(ext, observables));
+    state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_AbsorbObservables)->Arg(10)->Arg(100)->Arg(1000);
+
+void
+BM_RemapBitstrings(benchmark::State &state)
+{
+    const uint32_t n = 20;
+    Rng rng(7);
+    ReducedClifford red;
+    red.network = LinearFunction::identity(n);
+    for (int i = 0; i < 64; ++i) {
+        const uint32_t a = static_cast<uint32_t>(rng.uniformInt(n));
+        const uint32_t b = static_cast<uint32_t>(rng.uniformInt(n));
+        if (a != b)
+            red.network.appendCx(a, b);
+    }
+    std::map<uint64_t, uint64_t> counts;
+    const size_t k = static_cast<size_t>(state.range(0));
+    while (counts.size() < k)
+        counts[rng.uniformInt(1ULL << n)] += 1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(remapCounts(red, counts));
+    state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_RemapBitstrings)->Arg(100)->Arg(1000)->Arg(5000);
+
+
+void
+BM_DiagonalizeCommutingSet(benchmark::State &state)
+{
+    const uint32_t n = static_cast<uint32_t>(state.range(0));
+    Rng rng(8);
+    // Commuting set by construction: random products of fixed
+    // generators (Z-strings conjugated by one random Clifford).
+    QuantumCircuit frame(n);
+    for (uint32_t i = 0; i < 3 * n; ++i) {
+        const uint32_t q = static_cast<uint32_t>(rng.uniformInt(n));
+        const uint32_t r = static_cast<uint32_t>(rng.uniformInt(n));
+        switch (rng.uniformInt(3)) {
+          case 0: frame.h(q); break;
+          case 1: frame.s(q); break;
+          default:
+            if (q != r)
+                frame.cx(q, r);
+            break;
+        }
+    }
+    std::vector<PauliString> set;
+    for (uint32_t k = 0; k < n; ++k) {
+        PauliString z(n);
+        for (uint32_t q = 0; q < n; ++q)
+            if (rng.bernoulli(0.4))
+                z.setOp(q, PauliOp::Z);
+        if (z.isIdentity())
+            z.setOp(k, PauliOp::Z);
+        frame.conjugatePauli(z);
+        set.push_back(std::move(z));
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(diagonalizeCommutingSet(set));
+    state.SetItemsProcessed(state.iterations() * set.size());
+}
+BENCHMARK(BM_DiagonalizeCommutingSet)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_SabreRouting(benchmark::State &state)
+{
+    const uint32_t n = 20;
+    Rng rng(9);
+    QuantumCircuit qc(n);
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+        const uint32_t a = static_cast<uint32_t>(rng.uniformInt(n));
+        const uint32_t b = static_cast<uint32_t>(rng.uniformInt(n));
+        if (a != b)
+            qc.cx(a, b);
+    }
+    const CouplingMap device = manhattanHeavyHex();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mapToDevice(qc, device));
+    state.SetItemsProcessed(state.iterations() * qc.size());
+}
+BENCHMARK(BM_SabreRouting)->Arg(100)->Arg(400);
+
+void
+BM_StatevectorGate(benchmark::State &state)
+{
+    const uint32_t n = static_cast<uint32_t>(state.range(0));
+    Statevector sv(n);
+    Rng rng(10);
+    for (auto _ : state) {
+        const uint32_t q = static_cast<uint32_t>(rng.uniformInt(n));
+        sv.applyGate({ GateType::H, q });
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatevectorGate)->Arg(10)->Arg(14);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Regenerates Table II: native gate counts of the 19 benchmarks under
+ * naive (V-shape) synthesis, side by side with the paper's numbers.
+ * Exact matches are expected for the QAOA rows (the generators pin term
+ * counts); UCCSD rows follow the spinless enumeration documented in
+ * DESIGN.md section 4.
+ */
+#include <cstdio>
+
+#include "baselines/naive_synthesis.hpp"
+#include "bench_common.hpp"
+#include "util/table_printer.hpp"
+
+int
+main()
+{
+    using namespace quclear;
+    using namespace quclear::bench;
+
+    std::printf("=== Table II: benchmark information "
+                "(native counts, ours vs paper) ===\n");
+    TablePrinter table({ "Name", "#qubits", "#Pauli", "paper#Pauli",
+                         "#CNOT", "paper#CNOT", "#1Q", "paper#1Q" });
+    for (const auto &name : selectedBenchmarks()) {
+        const Benchmark b = makeBenchmark(name);
+        const QuantumCircuit native = naiveSynthesis(b.terms);
+        const PaperRow paper = paperRow(name);
+        table.addRow({
+            name,
+            std::to_string(b.numQubits),
+            std::to_string(b.terms.size()),
+            std::to_string(paper.paulis),
+            std::to_string(native.twoQubitCount(true)),
+            std::to_string(paper.nativeCnot),
+            std::to_string(native.singleQubitCount()),
+            std::to_string(paper.native1q),
+        });
+    }
+    std::fputs(table.toString().c_str(), stdout);
+    writeCsvIfRequested("table2", table);
+    if (!fullSuiteRequested())
+        std::printf("(set QUCLEAR_FULL=1 for the two largest UCC rows)\n");
+    return 0;
+}

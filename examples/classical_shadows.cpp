@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Classical-shadow workflow (the measurement-reduction alternative the
+ * paper cites in Sec. VI-A): compile a chemistry-style program with
+ * QuCLEAR, collect one randomized-measurement shadow of the *optimized*
+ * circuit, and estimate every absorbed observable from that single
+ * ensemble — no per-observable circuits at all.
+ */
+#include <cmath>
+#include <cstdio>
+
+#include "benchgen/uccsd.hpp"
+#include "core/quclear.hpp"
+#include "sim/expectation.hpp"
+#include "sim/shadows.hpp"
+#include "util/rng.hpp"
+
+int
+main()
+{
+    using namespace quclear;
+
+    const auto ansatz = uccsdAnsatz(2, 6);
+    const uint32_t n = 6;
+    const QuClear compiler;
+    const auto program = compiler.compile(ansatz);
+    std::printf("UCC-(2,6) ansatz compiled to %zu CNOTs\n",
+                program.circuit().twoQubitCount(true));
+
+    // Observables of a mock Hamiltonian (low weight: shadows shine).
+    const std::vector<std::string> labels = {
+        "ZIIIII", "IZIIII", "ZZIIII", "IIZZII",
+        "IIIIZZ", "XXIIII", "IIYYII",
+    };
+    std::vector<PauliString> observables;
+    for (const auto &label : labels)
+        observables.push_back(PauliString::fromLabel(label));
+    const auto absorbed = compiler.absorbObservables(program, observables);
+
+    // One shadow of the optimized circuit serves all observables.
+    const size_t shots = 60000;
+    ShadowEstimator shadow(n);
+    Rng rng(20240613);
+    shadow.collect(program.circuit(), shots, rng);
+    std::printf("collected %zu randomized-measurement snapshots\n\n",
+                shadow.snapshotCount());
+
+    const Statevector reference = referenceState(ansatz);
+    std::printf("%-8s %-10s %-12s %-12s\n", "obs", "absorbed",
+                "reference", "shadow est.");
+    double max_error = 0.0;
+    for (size_t k = 0; k < observables.size(); ++k) {
+        PauliString unsigned_obs = absorbed[k].transformed;
+        unsigned_obs.setPhase(0);
+        const double estimate =
+            absorbed[k].sign * shadow.estimate(unsigned_obs);
+        const double exact = reference.expectation(observables[k]);
+        max_error = std::max(max_error, std::abs(estimate - exact));
+        std::printf("%-8s %-10s %+.6f    %+.6f\n", labels[k].c_str(),
+                    absorbed[k].transformed.toLabel().c_str(), exact,
+                    estimate);
+    }
+    std::printf("\nmax |error| = %.3f (statistical, ~3^w/sqrt(%zu))\n",
+                max_error, shots);
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: compile a small quantum-simulation program with QuCLEAR,
+ * inspect the savings, and verify the result end to end on a simulator.
+ *
+ * The program is the paper's Fig. 2 example: e^{i ZZZZ t1} e^{i YYXX t2}
+ * measuring the observable XXZZ. QuCLEAR reduces the 12-CNOT naive
+ * circuit to 4 CNOTs while the expectation value is preserved exactly.
+ */
+#include <cstdio>
+
+#include "baselines/naive_synthesis.hpp"
+#include "core/quclear.hpp"
+#include "sim/expectation.hpp"
+
+int
+main()
+{
+    using namespace quclear;
+
+    // 1. Describe the program as exponentiated Pauli strings.
+    const std::vector<PauliTerm> terms = {
+        PauliTerm::fromLabel("ZZZZ", 0.5),
+        PauliTerm::fromLabel("YYXX", 0.3),
+    };
+    // XXZZ is the paper's Fig. 2 observable; XXXY has a nonzero value
+    // on this state, which makes the equality check more interesting.
+    const std::vector<PauliString> observables = {
+        PauliString::fromLabel("XXZZ"),
+        PauliString::fromLabel("XXXY"),
+    };
+
+    // 2. Compile with QuCLEAR: Clifford Extraction + local optimization.
+    const QuClear compiler;
+    const CompiledProgram program = compiler.compile(terms);
+
+    const QuantumCircuit naive = naiveSynthesis(terms);
+    std::printf("naive synthesis : %zu CNOTs\n",
+                naive.twoQubitCount(true));
+    std::printf("QuCLEAR         : %zu CNOTs (+ classical Clifford tail "
+                "of %zu gates)\n",
+                program.circuit().twoQubitCount(true),
+                program.extraction.extractedClifford.size());
+
+    // 3. Absorb the Clifford tail into the observables (CA-Pre).
+    const auto absorbed = compiler.absorbObservables(program, observables);
+
+    // 4. Verify: run both circuits on the dense simulator and compare
+    //    the expectation values (CA-Post semantics).
+    const Statevector reference = referenceState(terms);
+    Statevector optimized(program.circuit().numQubits());
+    optimized.applyCircuit(program.circuit());
+
+    bool all_match = true;
+    for (size_t k = 0; k < observables.size(); ++k) {
+        std::printf("\nobservable %s is measured as %s (sign %+d)\n",
+                    observables[k].toLabel().c_str(),
+                    absorbed[k].transformed.toLabel().c_str(),
+                    absorbed[k].sign);
+        PauliString unsigned_obs = absorbed[k].transformed;
+        unsigned_obs.setPhase(0);
+        const double original = reference.expectation(observables[k]);
+        const double via_quclear =
+            absorbed[k].sign * optimized.expectation(unsigned_obs);
+        std::printf("  original = %+.12f\n  QuCLEAR  = %+.12f\n",
+                    original, via_quclear);
+        all_match &= std::abs(original - via_quclear) < 1e-9;
+    }
+    std::printf("\nall expectation values match: %s\n",
+                all_match ? "yes" : "NO");
+    return 0;
+}

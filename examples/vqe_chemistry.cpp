@@ -1,0 +1,87 @@
+/**
+ * @file
+ * VQE-style chemistry workflow (Sec. VI-A of the paper): compile a
+ * UCCSD ansatz with QuCLEAR, absorb a molecular-style Hamiltonian's
+ * Pauli observables into the measurement basis, estimate the energy
+ * from per-observable measurement circuits, and cross-check against
+ * direct simulation of the unoptimized ansatz.
+ */
+#include <cstdio>
+
+#include "baselines/naive_synthesis.hpp"
+#include "benchgen/uccsd.hpp"
+#include "core/quclear.hpp"
+#include "sim/expectation.hpp"
+#include "util/rng.hpp"
+
+int
+main()
+{
+    using namespace quclear;
+
+    // UCC-(2,4): the active space the paper uses for H2.
+    const auto ansatz = uccsdAnsatz(2, 4);
+
+    // A molecular-style Hamiltonian: Z/ZZ diagonal terms plus one
+    // hopping pair, with fixed coefficients.
+    struct HamTerm
+    {
+        const char *label;
+        double coeff;
+    };
+    const HamTerm hamiltonian[] = {
+        { "IIIZ", -0.24 }, { "IIZI", -0.24 }, { "IZII", 0.18 },
+        { "ZIII", 0.18 },  { "IIZZ", 0.17 },  { "ZZII", 0.12 },
+        { "ZIIZ", 0.16 },  { "XXYY", -0.04 }, { "YYXX", -0.04 },
+    };
+
+    const QuClear compiler;
+    const CompiledProgram program = compiler.compile(ansatz);
+    std::printf("UCCSD ansatz: %zu Pauli rotations\n", ansatz.size());
+    std::printf("  naive synthesis: %zu CNOTs\n",
+                naiveSynthesis(ansatz).twoQubitCount(true));
+    std::printf("  QuCLEAR        : %zu CNOTs\n\n",
+                program.circuit().twoQubitCount(true));
+
+    // Absorb every Hamiltonian observable.
+    std::vector<PauliString> observables;
+    for (const auto &term : hamiltonian)
+        observables.push_back(PauliString::fromLabel(term.label));
+    const auto absorbed = compiler.absorbObservables(program, observables);
+
+    // Energy via QuCLEAR: one measurement circuit per observable, counts
+    // post-processed by CA-Post.
+    const Statevector reference = referenceState(ansatz);
+    double energy_reference = 0.0;
+    double energy_quclear = 0.0;
+    std::printf("%-8s %-14s %s\n", "term", "absorbed as", "contribution");
+    for (size_t k = 0; k < observables.size(); ++k) {
+        const auto meas =
+            measurementCircuit(program.extraction, absorbed[k]);
+        const auto probs = outputProbabilities(meas);
+        std::map<uint64_t, uint64_t> counts;
+        for (uint64_t b = 0; b < probs.size(); ++b) {
+            const auto c =
+                static_cast<uint64_t>(std::llround(probs[b] * 1000000));
+            if (c)
+                counts[b] = c;
+        }
+        const double exp_quclear =
+            expectationFromCounts(absorbed[k], counts);
+        const double contribution = hamiltonian[k].coeff * exp_quclear;
+        energy_quclear += contribution;
+        energy_reference +=
+            hamiltonian[k].coeff * reference.expectation(observables[k]);
+        std::printf("%-8s %-14s %+.6f\n", hamiltonian[k].label,
+                    absorbed[k].transformed.toLabel().c_str(),
+                    contribution);
+    }
+
+    std::printf("\nenergy (reference ansatz) : %.9f\n", energy_reference);
+    std::printf("energy (QuCLEAR workflow) : %.9f\n", energy_quclear);
+    std::printf("agreement: %s\n",
+                std::abs(energy_reference - energy_quclear) < 1e-4
+                    ? "yes"
+                    : "NO");
+    return 0;
+}

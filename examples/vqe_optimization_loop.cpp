@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Full VQE optimization loop on a parameterized ansatz: the ansatz is
+ * compiled through QuCLEAR *once*; every optimizer iteration only
+ * rebinds rotation angles (O(gates)) and re-evaluates the absorbed
+ * Hamiltonian — the workflow the paper's hybrid-algorithm framing
+ * (Sec. I) targets. A simple coordinate-descent optimizer minimizes the
+ * energy of a toy two-level Hamiltonian.
+ */
+#include <cmath>
+#include <cstdio>
+
+#include "core/parameterized.hpp"
+#include "pauli/hamiltonian.hpp"
+#include "core/quclear.hpp"
+#include "sim/expectation.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace quclear;
+
+struct HamTerm
+{
+    const char *label;
+    double coeff;
+};
+
+/** Energy via the absorbed observables on the bound circuit. */
+double
+energyOf(const QuantumCircuit &bound,
+         const std::vector<std::pair<PauliString, double>> &absorbed)
+{
+    Statevector sv(bound.numQubits());
+    sv.applyCircuit(bound);
+    double energy = 0.0;
+    for (const auto &[pauli, coeff] : absorbed) {
+        PauliString unsigned_obs = pauli;
+        unsigned_obs.setPhase(0);
+        energy += coeff * pauli.sign() * sv.expectation(unsigned_obs);
+    }
+    return energy;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Hardware-efficient-style parameterized ansatz on 4 qubits:
+    // entangling ZZ layers with per-qubit Y rotations, 3 parameters.
+    std::vector<ParameterizedTerm> ansatz;
+    const uint32_t n = 4;
+    for (uint32_t layer = 0; layer < 2; ++layer) {
+        for (uint32_t q = 0; q + 1 < n; ++q) {
+            PauliString zz(n);
+            zz.setOp(q, PauliOp::Z);
+            zz.setOp(q + 1, PauliOp::Z);
+            ansatz.emplace_back(std::move(zz), layer, 1.0);
+        }
+        for (uint32_t q = 0; q < n; ++q) {
+            PauliString y(n);
+            y.setOp(q, PauliOp::Y);
+            ansatz.emplace_back(std::move(y), 2, 0.5);
+        }
+    }
+    const uint32_t num_params = 3;
+
+    Timer compile_timer;
+    const ParameterizedProgram program(ansatz, num_params);
+    std::printf("compiled once in %.4f s: %zu CNOTs in the template\n",
+                compile_timer.seconds(),
+                program.extraction()
+                    .optimized.twoQubitCount(true));
+
+    // Toy Hamiltonian; absorb every observable once, reuse forever.
+    const HamTerm hamiltonian[] = {
+        { "ZIII", 0.6 },  { "IZII", 0.6 },  { "IIZI", 0.6 },
+        { "IIIZ", 0.6 },  { "ZZII", -0.4 }, { "IZZI", -0.4 },
+        { "IIZZ", -0.4 }, { "XXII", 0.2 },  { "IIXX", 0.2 },
+    };
+    std::vector<std::pair<PauliString, double>> absorbed;
+    for (const auto &term : hamiltonian) {
+        absorbed.emplace_back(
+            program.extraction().conjugator.conjugate(
+                PauliString::fromLabel(term.label)),
+            term.coeff);
+    }
+
+    // Coordinate descent with shrinking step.
+    std::vector<double> theta(num_params, 0.25);
+    double step = 0.5;
+    double best = energyOf(program.bind(theta), absorbed);
+    std::printf("initial energy: %+.6f\n", best);
+
+    Timer loop_timer;
+    size_t evaluations = 1;
+    for (int sweep = 0; sweep < 40; ++sweep) {
+        bool improved = false;
+        for (uint32_t k = 0; k < num_params; ++k) {
+            for (double delta : { step, -step }) {
+                std::vector<double> trial = theta;
+                trial[k] += delta;
+                const double e =
+                    energyOf(program.bind(trial), absorbed);
+                ++evaluations;
+                if (e < best - 1e-12) {
+                    best = e;
+                    theta = trial;
+                    improved = true;
+                }
+            }
+        }
+        if (!improved)
+            step *= 0.5;
+        if (step < 1e-6)
+            break;
+    }
+    std::printf("optimized energy: %+.6f after %zu evaluations "
+                "(%.4f s total, %.2f ms/eval including rebind)\n",
+                best, evaluations, loop_timer.seconds(),
+                1e3 * loop_timer.seconds() /
+                    static_cast<double>(evaluations));
+    std::printf("final parameters: [%.4f, %.4f, %.4f]\n", theta[0],
+                theta[1], theta[2]);
+
+    // Exact reference: dense power iteration on the same Hamiltonian.
+    Hamiltonian h(n);
+    for (const auto &term : hamiltonian)
+        h.addTerm(term.label, term.coeff);
+    const double exact = minimumEigenvalue(h, 1500);
+    std::printf("exact ground energy: %+.6f (ansatz gap: %.4f)\n",
+                exact, best - exact);
+    return 0;
+}

@@ -1,0 +1,76 @@
+#include "baselines/naive_synthesis.hpp"
+
+#include <cassert>
+
+#include "pauli/pauli_list.hpp"
+#include "transpile/pass_manager.hpp"
+
+namespace quclear {
+
+void
+appendPauliRotation(QuantumCircuit &qc, const PauliString &p, double angle,
+                    const std::vector<uint32_t> *ladder_order)
+{
+    assert(p.phase() == 0 || p.phase() == 2);
+    const double t_eff = angle * p.sign();
+    std::vector<uint32_t> order =
+        ladder_order ? *ladder_order : p.support();
+    if (order.empty())
+        return; // identity: global phase only
+
+    // Basis layer.
+    for (uint32_t q : order) {
+        switch (p.op(q)) {
+          case PauliOp::X:
+            qc.h(q);
+            break;
+          case PauliOp::Y:
+            qc.sdg(q);
+            qc.h(q);
+            break;
+          default:
+            break;
+        }
+    }
+    // Descending ladder onto the last qubit.
+    for (size_t i = 0; i + 1 < order.size(); ++i)
+        qc.cx(order[i], order[i + 1]);
+    // e^{iZt} = Rz(-2t).
+    qc.rz(order.back(), -2.0 * t_eff);
+    // Ascending ladder (uncompute).
+    for (size_t i = order.size() - 1; i-- > 0;)
+        qc.cx(order[i], order[i + 1]);
+    // Inverse basis layer.
+    for (uint32_t q : order) {
+        switch (p.op(q)) {
+          case PauliOp::X:
+            qc.h(q);
+            break;
+          case PauliOp::Y:
+            qc.h(q);
+            qc.s(q);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+QuantumCircuit
+naiveSynthesis(const std::vector<PauliTerm> &terms)
+{
+    QuantumCircuit qc(numQubitsOf(terms));
+    for (const auto &term : terms)
+        appendPauliRotation(qc, term.pauli, term.angle);
+    return qc;
+}
+
+QuantumCircuit
+qiskitBaseline(const std::vector<PauliTerm> &terms)
+{
+    QuantumCircuit qc = naiveSynthesis(terms);
+    PassManager::level3().run(qc);
+    return qc;
+}
+
+} // namespace quclear

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Naive (textbook / Qiskit-style) synthesis of Pauli-term programs: each
+ * rotation e^{iPt} becomes the V-shaped circuit of Fig. 1 — basis layer,
+ * descending CNOT ladder, Rz on the parity root, ascending ladder, and
+ * inverse basis layer. This is the "native gate count" generator behind
+ * Table II and, combined with the local-rewrite pipeline, the "Qiskit"
+ * baseline of Table III.
+ */
+#ifndef QUCLEAR_BASELINES_NAIVE_SYNTHESIS_HPP
+#define QUCLEAR_BASELINES_NAIVE_SYNTHESIS_HPP
+
+#include <vector>
+
+#include "circuit/quantum_circuit.hpp"
+#include "pauli/pauli_term.hpp"
+
+namespace quclear {
+
+/**
+ * Synthesize one Pauli rotation as a V-shaped subcircuit appended to
+ * @p qc. Uses 2(w-1) CNOTs for a weight-w string.
+ * @param ladder_order optional explicit qubit order for the CNOT ladder;
+ *        defaults to ascending support order
+ */
+void appendPauliRotation(QuantumCircuit &qc, const PauliString &p,
+                         double angle,
+                         const std::vector<uint32_t> *ladder_order = nullptr);
+
+/** Synthesize the whole program naively (Table II native counts). */
+QuantumCircuit naiveSynthesis(const std::vector<PauliTerm> &terms);
+
+/**
+ * The "Qiskit" baseline of Table III: naive synthesis followed by the
+ * local-rewrite pipeline (our optimization-level-3 proxy).
+ */
+QuantumCircuit qiskitBaseline(const std::vector<PauliTerm> &terms);
+
+} // namespace quclear
+
+#endif // QUCLEAR_BASELINES_NAIVE_SYNTHESIS_HPP

@@ -1,0 +1,109 @@
+#include "baselines/paulihedral.hpp"
+
+#include <algorithm>
+
+#include "baselines/naive_synthesis.hpp"
+#include "pauli/pauli_list.hpp"
+#include "transpile/pass_manager.hpp"
+
+namespace quclear {
+
+namespace {
+
+/** Similarity = positions where both strings carry the same operator. */
+uint32_t
+similarity(const PauliString &a, const PauliString &b)
+{
+    uint32_t s = 0;
+    for (uint32_t q = 0; q < a.numQubits(); ++q) {
+        const PauliOp oa = a.op(q);
+        if (oa != PauliOp::I && oa == b.op(q))
+            ++s;
+    }
+    return s;
+}
+
+/**
+ * Ladder order for @p current between its two neighbours: qubits shared
+ * with the previous term (same operator) come first in ascending order —
+ * the previous term's ascending-up-ladder tail then cancels against this
+ * term's down-ladder head — followed by qubits shared with the next
+ * term, then the rest. Ascending order within each class keeps the
+ * junction CNOT pairs aligned across terms.
+ */
+std::vector<uint32_t>
+ladderOrder(const PauliString &current, const PauliString *prev,
+            const PauliString *next)
+{
+    std::vector<uint32_t> shared_prev, shared_next, rest;
+    for (uint32_t q : current.support()) {
+        if (prev && prev->op(q) == current.op(q))
+            shared_prev.push_back(q);
+        else if (next && next->op(q) == current.op(q))
+            shared_next.push_back(q);
+        else
+            rest.push_back(q);
+    }
+    shared_prev.insert(shared_prev.end(), shared_next.begin(),
+                       shared_next.end());
+    shared_prev.insert(shared_prev.end(), rest.begin(), rest.end());
+    return shared_prev;
+}
+
+} // namespace
+
+QuantumCircuit
+paulihedralCompile(const std::vector<PauliTerm> &terms,
+                   const PaulihedralConfig &config)
+{
+    std::vector<PauliTerm> ordered = terms;
+
+    if (config.reorderBlocks) {
+        // Greedy chain inside each commuting block: repeatedly append the
+        // unplaced term most similar to the last placed one.
+        const auto blocks = commutingBlocks(terms);
+        ordered.clear();
+        ordered.reserve(terms.size());
+        for (const auto &block : blocks) {
+            std::vector<size_t> remaining = block;
+            // Start from the first term of the block (input order).
+            size_t current = remaining.front();
+            remaining.erase(remaining.begin());
+            ordered.push_back(terms[current]);
+            while (!remaining.empty()) {
+                size_t best_pos = 0;
+                uint32_t best_sim = 0;
+                for (size_t i = 0; i < remaining.size(); ++i) {
+                    const uint32_t s = similarity(
+                        terms[current].pauli, terms[remaining[i]].pauli);
+                    if (s > best_sim) {
+                        best_sim = s;
+                        best_pos = i;
+                    }
+                }
+                current = remaining[best_pos];
+                remaining.erase(remaining.begin() +
+                                static_cast<std::ptrdiff_t>(best_pos));
+                ordered.push_back(terms[current]);
+            }
+        }
+    }
+
+    QuantumCircuit qc(numQubitsOf(terms));
+    for (size_t i = 0; i < ordered.size(); ++i) {
+        const PauliString *prev = i > 0 ? &ordered[i - 1].pauli : nullptr;
+        const PauliString *next =
+            i + 1 < ordered.size() ? &ordered[i + 1].pauli : nullptr;
+        const auto order = ladderOrder(ordered[i].pauli, prev, next);
+        if (order.empty())
+            continue;
+        appendPauliRotation(qc, ordered[i].pauli, ordered[i].angle,
+                            &order);
+    }
+
+    if (config.applyLocalOptimization)
+        PassManager::level3().run(qc);
+    return qc;
+}
+
+} // namespace quclear

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Paulihedral-style baseline (Li et al., ASPLOS'22): block-wise gate
+ * cancellation between adjacent Pauli rotations.
+ *
+ * The compiler groups terms into mutually commuting blocks, greedily
+ * reorders each block so consecutive terms are maximally similar, and
+ * orders every term's CNOT ladder so qubits shared with the *next* term
+ * sit at the leaf end of the ladder. The mirrored halves of adjacent
+ * V-shapes then cancel under the local-rewrite pipeline — the
+ * gate-cancellation mechanism the original paper exploits through its
+ * Pauli IR.
+ */
+#ifndef QUCLEAR_BASELINES_PAULIHEDRAL_HPP
+#define QUCLEAR_BASELINES_PAULIHEDRAL_HPP
+
+#include <vector>
+
+#include "circuit/quantum_circuit.hpp"
+#include "pauli/pauli_term.hpp"
+
+namespace quclear {
+
+/** Options for the Paulihedral-style baseline. */
+struct PaulihedralConfig
+{
+    /** Greedily reorder terms inside commuting blocks by similarity. */
+    bool reorderBlocks = true;
+
+    /** Apply the local-rewrite pipeline afterwards (as in Table III). */
+    bool applyLocalOptimization = true;
+};
+
+/** Compile a Pauli-term program with block-wise gate cancellation. */
+QuantumCircuit paulihedralCompile(const std::vector<PauliTerm> &terms,
+                                  const PaulihedralConfig &config = {});
+
+} // namespace quclear
+
+#endif // QUCLEAR_BASELINES_PAULIHEDRAL_HPP

@@ -1,0 +1,99 @@
+#include "baselines/rustiq_like.hpp"
+
+#include <cassert>
+
+#include "core/tree_synthesis.hpp"
+#include "pauli/pauli_list.hpp"
+#include "tableau/clifford_tableau.hpp"
+
+namespace quclear {
+
+QuantumCircuit
+rustiqLikeCompile(const std::vector<PauliTerm> &terms,
+                  const RustiqConfig &config)
+{
+    const uint32_t n = numQubitsOf(terms);
+    QuantumCircuit qc(n);
+    CliffordTableau acc(n);
+
+    for (size_t i = 0; i < terms.size(); ++i) {
+        PauliString curr = acc.conjugate(terms[i].pauli);
+        if (curr.isIdentity())
+            continue;
+
+        // Basis layer.
+        const auto support = curr.support();
+        for (uint32_t q : support) {
+            switch (curr.op(q)) {
+              case PauliOp::X:
+                qc.h(q);
+                acc.appendH(q);
+                break;
+              case PauliOp::Y:
+                qc.sdg(q);
+                qc.h(q);
+                acc.appendSdg(q);
+                acc.appendH(q);
+                break;
+              default:
+                break;
+            }
+        }
+
+        // Conjugated lookahead window for the greedy cost function.
+        std::vector<PauliString> window;
+        for (size_t j = i + 1;
+             j < terms.size() && window.size() < config.costWindow; ++j)
+            window.push_back(acc.conjugate(terms[j].pauli));
+
+        // Flat greedy merge: pick the CX with the best weighted sum of
+        // Table-I deltas over the window; earlier terms weigh more.
+        std::vector<uint32_t> remaining = support;
+        while (remaining.size() > 1) {
+            int64_t best_score = INT64_MAX;
+            size_t best_c = 0, best_t = 1;
+            for (size_t ci = 0; ci < remaining.size(); ++ci) {
+                for (size_t ti = 0; ti < remaining.size(); ++ti) {
+                    if (ci == ti)
+                        continue;
+                    int64_t score = 0;
+                    int64_t w = 1;
+                    for (size_t k = window.size(); k-- > 0;) {
+                        score += w * cxWeightDelta(window[k],
+                                                   remaining[ci],
+                                                   remaining[ti]);
+                        w *= 4;
+                    }
+                    if (score < best_score) {
+                        best_score = score;
+                        best_c = ci;
+                        best_t = ti;
+                    }
+                }
+            }
+            const uint32_t c = remaining[best_c];
+            const uint32_t t = remaining[best_t];
+            qc.cx(c, t);
+            acc.appendCX(c, t);
+            for (auto &p : window)
+                p.applyCX(c, t);
+            remaining.erase(remaining.begin() +
+                            static_cast<std::ptrdiff_t>(best_c));
+        }
+
+        const uint32_t root = remaining[0];
+        const PauliString reduced = acc.conjugate(terms[i].pauli);
+        assert(reduced.weight() == 1 && reduced.op(root) == PauliOp::Z);
+        qc.rz(root, -2.0 * terms[i].angle * reduced.sign());
+    }
+
+    if (config.synthesizeTail) {
+        // The network so far implements E . U; append U_CL = E~ to
+        // restore the exact program unitary.
+        const QuantumCircuit e_circuit = acc.toCircuit();
+        qc.appendCircuit(e_circuit.inverse());
+    }
+    return qc;
+}
+
+} // namespace quclear

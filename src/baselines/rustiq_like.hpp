@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Rustiq-style baseline (de Brugiere & Martiel, 2024): bottom-up Pauli
+ * network synthesis.
+ *
+ * Like QuCLEAR, the compiler never uncomputes a rotation's Clifford —
+ * it transitions from one Pauli string to the next through small Clifford
+ * moves chosen by a greedy multi-term cost function. Unlike QuCLEAR,
+ * there is no Clifford Absorption: the network must end by implementing
+ * the residual Clifford explicitly, so the accumulated tail is
+ * re-synthesized into gates and counted. This reproduces the qualitative
+ * gap of Table III (Rustiq beats the V-shape compilers but pays for the
+ * tail that QuCLEAR absorbs).
+ */
+#ifndef QUCLEAR_BASELINES_RUSTIQ_LIKE_HPP
+#define QUCLEAR_BASELINES_RUSTIQ_LIKE_HPP
+
+#include <vector>
+
+#include "circuit/quantum_circuit.hpp"
+#include "pauli/pauli_term.hpp"
+
+namespace quclear {
+
+/** Options for the Rustiq-style baseline. */
+struct RustiqConfig
+{
+    /** Number of upcoming terms the greedy cost function looks at. */
+    uint32_t costWindow = 3;
+
+    /** Append the residual Clifford tail as synthesized gates. */
+    bool synthesizeTail = true;
+};
+
+/** Compile a Pauli-term program as a Pauli network. */
+QuantumCircuit rustiqLikeCompile(const std::vector<PauliTerm> &terms,
+                                 const RustiqConfig &config = {});
+
+} // namespace quclear
+
+#endif // QUCLEAR_BASELINES_RUSTIQ_LIKE_HPP

@@ -1,0 +1,136 @@
+#include "baselines/tetris_like.hpp"
+
+#include <algorithm>
+
+#include "baselines/naive_synthesis.hpp"
+#include "pauli/pauli_list.hpp"
+#include "transpile/pass_manager.hpp"
+
+namespace quclear {
+
+namespace {
+
+/**
+ * Refined similarity: same-operator positions count double (they cancel
+ * basis gates *and* ladder CNOTs), shared-support positions with
+ * different operators count once (ladder CNOTs can still align).
+ */
+uint32_t
+tetrisSimilarity(const PauliString &a, const PauliString &b)
+{
+    uint32_t score = 0;
+    for (uint32_t q = 0; q < a.numQubits(); ++q) {
+        const PauliOp oa = a.op(q);
+        const PauliOp ob = b.op(q);
+        if (oa == PauliOp::I || ob == PauliOp::I)
+            continue;
+        score += (oa == ob) ? 2 : 1;
+    }
+    return score;
+}
+
+/**
+ * Ladder order: shared-with-previous first (junction cancellation),
+ * then shared-with-next, then the rest. Within each class, qubits are
+ * ordered BFS-contiguously on the device when one is given (so ladder
+ * CNOTs follow physical edges), otherwise ascending.
+ */
+std::vector<uint32_t>
+tetrisLadderOrder(const PauliString &current, const PauliString *prev,
+                  const PauliString *next, const CouplingMap *device)
+{
+    std::vector<uint32_t> shared_prev, shared_next, rest;
+    for (uint32_t q : current.support()) {
+        if (prev && prev->op(q) == current.op(q))
+            shared_prev.push_back(q);
+        else if (next && next->op(q) == current.op(q))
+            shared_next.push_back(q);
+        else
+            rest.push_back(q);
+    }
+    std::vector<uint32_t> order = shared_prev;
+    order.insert(order.end(), shared_next.begin(), shared_next.end());
+    order.insert(order.end(), rest.begin(), rest.end());
+
+    if (device && order.size() > 2) {
+        // Greedy nearest-neighbour chain on the device metric, seeded at
+        // the junction-critical first qubit (assumes trivial layout, the
+        // common case before routing refines it).
+        std::vector<uint32_t> chained{ order.front() };
+        std::vector<uint32_t> remaining(order.begin() + 1, order.end());
+        while (!remaining.empty()) {
+            const uint32_t last = chained.back();
+            size_t best = 0;
+            uint32_t best_dist = ~0u;
+            for (size_t i = 0; i < remaining.size(); ++i) {
+                if (last < device->numQubits() &&
+                    remaining[i] < device->numQubits()) {
+                    const uint32_t d =
+                        device->distance(last, remaining[i]);
+                    if (d < best_dist) {
+                        best_dist = d;
+                        best = i;
+                    }
+                }
+            }
+            chained.push_back(remaining[best]);
+            remaining.erase(remaining.begin() +
+                            static_cast<std::ptrdiff_t>(best));
+        }
+        order = std::move(chained);
+    }
+    return order;
+}
+
+} // namespace
+
+QuantumCircuit
+tetrisLikeCompile(const std::vector<PauliTerm> &terms,
+                  const TetrisConfig &config)
+{
+    // Greedy chain inside each commuting block, refined similarity.
+    const auto blocks = commutingBlocks(terms);
+    std::vector<PauliTerm> ordered;
+    ordered.reserve(terms.size());
+    for (const auto &block : blocks) {
+        std::vector<size_t> remaining = block;
+        size_t current = remaining.front();
+        remaining.erase(remaining.begin());
+        ordered.push_back(terms[current]);
+        while (!remaining.empty()) {
+            size_t best_pos = 0;
+            uint32_t best_sim = 0;
+            for (size_t i = 0; i < remaining.size(); ++i) {
+                const uint32_t s = tetrisSimilarity(
+                    terms[current].pauli, terms[remaining[i]].pauli);
+                if (s > best_sim) {
+                    best_sim = s;
+                    best_pos = i;
+                }
+            }
+            current = remaining[best_pos];
+            remaining.erase(remaining.begin() +
+                            static_cast<std::ptrdiff_t>(best_pos));
+            ordered.push_back(terms[current]);
+        }
+    }
+
+    QuantumCircuit qc(numQubitsOf(terms));
+    for (size_t i = 0; i < ordered.size(); ++i) {
+        const PauliString *prev = i > 0 ? &ordered[i - 1].pauli : nullptr;
+        const PauliString *next =
+            i + 1 < ordered.size() ? &ordered[i + 1].pauli : nullptr;
+        const auto order = tetrisLadderOrder(ordered[i].pauli, prev, next,
+                                             config.device);
+        if (order.empty())
+            continue;
+        appendPauliRotation(qc, ordered[i].pauli, ordered[i].angle,
+                            &order);
+    }
+
+    if (config.applyLocalOptimization)
+        PassManager::level3().run(qc);
+    return qc;
+}
+
+} // namespace quclear

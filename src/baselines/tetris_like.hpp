@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Tetris-style baseline (Jin et al., 2023): a refined Pauli IR that
+ * maximizes gate cancellation *and* anticipates SWAP insertion on
+ * limited-connectivity devices.
+ *
+ * Representative implementation: Paulihedral-style block reordering with
+ * a refined similarity metric (weighted toward contiguous shared-support
+ * runs), two-sided junction-aligned ladder ordering, and an optional
+ * device-aware mode that orders every ladder along BFS-contiguous
+ * physical paths so the router inserts fewer SWAPs.
+ */
+#ifndef QUCLEAR_BASELINES_TETRIS_LIKE_HPP
+#define QUCLEAR_BASELINES_TETRIS_LIKE_HPP
+
+#include <vector>
+
+#include "circuit/quantum_circuit.hpp"
+#include "mapping/coupling_map.hpp"
+#include "pauli/pauli_term.hpp"
+
+namespace quclear {
+
+/** Options for the Tetris-style baseline. */
+struct TetrisConfig
+{
+    /** Device whose connectivity guides ladder ordering (may be null). */
+    const CouplingMap *device = nullptr;
+
+    /** Apply the local-rewrite pipeline afterwards. */
+    bool applyLocalOptimization = true;
+};
+
+/** Compile with cancellation-aware, connectivity-aware V-shapes. */
+QuantumCircuit tetrisLikeCompile(const std::vector<PauliTerm> &terms,
+                                 const TetrisConfig &config = {});
+
+} // namespace quclear
+
+#endif // QUCLEAR_BASELINES_TETRIS_LIKE_HPP

@@ -1,0 +1,85 @@
+#include "baselines/tket_like.hpp"
+
+#include <cassert>
+
+#include "baselines/naive_synthesis.hpp"
+#include "pauli/pauli_list.hpp"
+
+namespace quclear {
+
+namespace {
+
+/**
+ * Build the reduction Clifford of a Pauli string (basis layer followed
+ * by a descending CNOT ladder) and report the parity root.
+ */
+QuantumCircuit
+reductionClifford(uint32_t n, const PauliString &p, uint32_t &root)
+{
+    QuantumCircuit c(n);
+    const auto support = p.support();
+    assert(!support.empty());
+    for (uint32_t q : support) {
+        switch (p.op(q)) {
+          case PauliOp::X:
+            c.h(q);
+            break;
+          case PauliOp::Y:
+            c.sdg(q);
+            c.h(q);
+            break;
+          default:
+            break;
+        }
+    }
+    for (size_t i = 0; i + 1 < support.size(); ++i)
+        c.cx(support[i], support[i + 1]);
+    root = support.back();
+    return c;
+}
+
+} // namespace
+
+QuantumCircuit
+tketLikeCompile(const std::vector<PauliTerm> &terms)
+{
+    const uint32_t n = numQubitsOf(terms);
+    QuantumCircuit qc(n);
+
+    size_t i = 0;
+    while (i < terms.size()) {
+        const PauliTerm &t1 = terms[i];
+        if (t1.pauli.isIdentity()) {
+            ++i;
+            continue;
+        }
+
+        if (i + 1 < terms.size() &&
+            !terms[i + 1].pauli.isIdentity() &&
+            t1.pauli.commutesWith(terms[i + 1].pauli)) {
+            const PauliTerm &t2 = terms[i + 1];
+            uint32_t root = 0;
+            QuantumCircuit c = reductionClifford(n, t1.pauli, root);
+            PauliString p2 = t2.pauli;
+            c.conjugatePauli(p2);
+            if (p2.weight() < t2.pauli.weight()) {
+                // Nested gadget: C, Rz1, inner rotation of P2', C~.
+                qc.appendCircuit(c);
+                PauliString p1_red = t1.pauli;
+                c.conjugatePauli(p1_red);
+                assert(p1_red.weight() == 1);
+                qc.rz(root, -2.0 * t1.angle * p1_red.sign());
+                appendPauliRotation(qc, p2, t2.angle);
+                qc.appendCircuit(c.inverse());
+                i += 2;
+                continue;
+            }
+        }
+
+        appendPauliRotation(qc, t1.pauli, t1.angle);
+        ++i;
+    }
+    return qc;
+}
+
+} // namespace quclear

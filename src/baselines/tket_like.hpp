@@ -1,0 +1,30 @@
+/**
+ * @file
+ * T|ket>-style baseline (Cowtan et al.): phase-gadget pairing in the
+ * simultaneous-diagonalization spirit.
+ *
+ * Commuting neighbour terms are compiled as nested phase gadgets: the
+ * first term's reduction Clifford C is applied once, the second term is
+ * conjugated through C and synthesized in the rotated frame, then C is
+ * undone. When conjugation shrinks the second string this shares CNOTs
+ * between the gadgets; otherwise the terms fall back to independent
+ * V-shapes. No external rewrite pipeline is applied afterwards, matching
+ * the paper's methodology of optimizing tket circuits only with tket's
+ * own passes.
+ */
+#ifndef QUCLEAR_BASELINES_TKET_LIKE_HPP
+#define QUCLEAR_BASELINES_TKET_LIKE_HPP
+
+#include <vector>
+
+#include "circuit/quantum_circuit.hpp"
+#include "pauli/pauli_term.hpp"
+
+namespace quclear {
+
+/** Compile a Pauli-term program with pairwise phase-gadget nesting. */
+QuantumCircuit tketLikeCompile(const std::vector<PauliTerm> &terms);
+
+} // namespace quclear
+
+#endif // QUCLEAR_BASELINES_TKET_LIKE_HPP

@@ -1,0 +1,127 @@
+#include "benchgen/graphs.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace quclear {
+
+std::vector<uint32_t>
+Graph::degrees() const
+{
+    std::vector<uint32_t> deg(numVertices, 0);
+    for (const auto &[a, b] : edges) {
+        ++deg[a];
+        ++deg[b];
+    }
+    return deg;
+}
+
+bool
+Graph::isSimple() const
+{
+    std::set<std::pair<uint32_t, uint32_t>> seen;
+    for (auto [a, b] : edges) {
+        if (a == b)
+            return false;
+        if (a > b)
+            std::swap(a, b);
+        if (!seen.insert({ a, b }).second)
+            return false;
+    }
+    return true;
+}
+
+Graph
+randomRegularGraph(uint32_t n, uint32_t degree, uint64_t seed)
+{
+    assert((uint64_t{ n } * degree) % 2 == 0 &&
+           "n.degree must be even for a regular graph");
+    assert(degree < n);
+    Rng rng(seed);
+
+    // Configuration model with edge-swap repair: pair stubs into a
+    // multigraph, then remove self-loops and duplicate edges by swapping
+    // endpoints with randomly chosen good edges (degree-preserving).
+    std::vector<uint32_t> stubs;
+    stubs.reserve(size_t{ n } * degree);
+    for (uint32_t v = 0; v < n; ++v)
+        for (uint32_t k = 0; k < degree; ++k)
+            stubs.push_back(v);
+    rng.shuffle(stubs);
+
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    for (size_t i = 0; i < stubs.size(); i += 2)
+        edges.emplace_back(stubs[i], stubs[i + 1]);
+
+    auto count_multiplicity = [&edges](uint32_t a, uint32_t b) {
+        size_t count = 0;
+        for (const auto &[x, y] : edges)
+            if ((x == a && y == b) || (x == b && y == a))
+                ++count;
+        return count;
+    };
+    auto is_bad = [&](size_t i) {
+        const auto &[a, b] = edges[i];
+        return a == b || count_multiplicity(a, b) > 1;
+    };
+
+    for (size_t guard = 0; guard < 100000; ++guard) {
+        size_t bad = edges.size();
+        for (size_t i = 0; i < edges.size(); ++i) {
+            if (is_bad(i)) {
+                bad = i;
+                break;
+            }
+        }
+        if (bad == edges.size())
+            break; // graph is simple
+        // Swap with a random other edge: (a,b),(c,d) -> (a,c),(b,d),
+        // accepted only if it does not create new loops or duplicates.
+        const size_t j = rng.uniformInt(edges.size());
+        if (j == bad)
+            continue;
+        const auto [a, b] = edges[bad];
+        const auto [c, d] = edges[j];
+        if (a == c || b == d || a == d || b == c)
+            continue;
+        if (count_multiplicity(a, c) > 0 || count_multiplicity(b, d) > 0)
+            continue;
+        edges[bad] = { a, c };
+        edges[j] = { b, d };
+    }
+
+    Graph g;
+    g.numVertices = n;
+    for (auto [a, b] : edges) {
+        if (a > b)
+            std::swap(a, b);
+        g.edges.emplace_back(a, b);
+    }
+    assert(g.isSimple());
+    return g;
+}
+
+Graph
+randomGraph(uint32_t n, uint32_t num_edges, uint64_t seed)
+{
+    assert(uint64_t{ num_edges } <= uint64_t{ n } * (n - 1) / 2);
+    Rng rng(seed);
+    // Sample distinct vertex pairs uniformly until the target count.
+    std::set<std::pair<uint32_t, uint32_t>> chosen;
+    while (chosen.size() < num_edges) {
+        uint32_t a = static_cast<uint32_t>(rng.uniformInt(n));
+        uint32_t b = static_cast<uint32_t>(rng.uniformInt(n));
+        if (a == b)
+            continue;
+        if (a > b)
+            std::swap(a, b);
+        chosen.insert({ a, b });
+    }
+    Graph g;
+    g.numVertices = n;
+    g.edges.assign(chosen.begin(), chosen.end());
+    return g;
+}
+
+} // namespace quclear

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Deterministic graph generators for the QAOA MaxCut benchmarks:
+ * random d-regular graphs (pairing model with edge-swap repair) and
+ * Erdos-Renyi graphs with an exact edge count, both seeded.
+ */
+#ifndef QUCLEAR_BENCHGEN_GRAPHS_HPP
+#define QUCLEAR_BENCHGEN_GRAPHS_HPP
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace quclear {
+
+/** Simple undirected graph as an edge list over n vertices. */
+struct Graph
+{
+    uint32_t numVertices = 0;
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+
+    /** Degree of every vertex. */
+    std::vector<uint32_t> degrees() const;
+
+    /** True iff no duplicate edges or self-loops. */
+    bool isSimple() const;
+};
+
+/**
+ * Random d-regular graph on n vertices (n.d must be even). Uses the
+ * configuration model with rejection and edge swaps until simple.
+ */
+Graph randomRegularGraph(uint32_t n, uint32_t degree, uint64_t seed);
+
+/** Random simple graph with exactly @p num_edges edges. */
+Graph randomGraph(uint32_t n, uint32_t num_edges, uint64_t seed);
+
+} // namespace quclear
+
+#endif // QUCLEAR_BENCHGEN_GRAPHS_HPP

@@ -1,0 +1,70 @@
+#include "benchgen/labs.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace quclear {
+
+std::vector<LabsTerm>
+labsHamiltonian(uint32_t n)
+{
+    // E(s) = sum_{k=1}^{n-1} C_k^2, C_k = sum_{i=0}^{n-1-k} s_i s_{i+k}.
+    // C_k^2 = sum_{i,j} s_i s_{i+k} s_j s_{j+k}; i == j gives a constant,
+    // i != j gives a product of four spins in which coincidences
+    // (i+k == j) collapse pairs to the identity.
+    std::map<std::vector<uint32_t>, double> accum;
+    for (uint32_t k = 1; k < n; ++k) {
+        const uint32_t limit = n - k;
+        for (uint32_t i = 0; i < limit; ++i) {
+            for (uint32_t j = i + 1; j < limit; ++j) {
+                // Multiset {i, i+k, j, j+k}; s_q^2 = 1 removes pairs.
+                std::vector<uint32_t> idx = { i, i + k, j, j + k };
+                std::sort(idx.begin(), idx.end());
+                std::vector<uint32_t> support;
+                for (size_t a = 0; a < idx.size();) {
+                    if (a + 1 < idx.size() && idx[a] == idx[a + 1]) {
+                        a += 2; // squared spin drops out
+                    } else {
+                        support.push_back(idx[a]);
+                        ++a;
+                    }
+                }
+                if (support.empty())
+                    continue;
+                accum[support] += 2.0; // unordered pair (i,j) counted twice
+            }
+        }
+    }
+
+    std::vector<LabsTerm> terms;
+    terms.reserve(accum.size());
+    for (const auto &[support, coeff] : accum)
+        terms.push_back({ support, coeff });
+    std::sort(terms.begin(), terms.end(),
+              [](const LabsTerm &a, const LabsTerm &b) {
+                  if (a.qubits.size() != b.qubits.size())
+                      return a.qubits.size() < b.qubits.size();
+                  return a.qubits < b.qubits;
+              });
+    return terms;
+}
+
+std::vector<PauliTerm>
+labsQaoa(uint32_t n, double gamma, double beta)
+{
+    std::vector<PauliTerm> program;
+    for (const auto &term : labsHamiltonian(n)) {
+        PauliString p(n);
+        for (uint32_t q : term.qubits)
+            p.setOp(q, PauliOp::Z);
+        program.emplace_back(std::move(p), gamma * term.coefficient);
+    }
+    for (uint32_t q = 0; q < n; ++q) {
+        PauliString p(n);
+        p.setOp(q, PauliOp::X);
+        program.emplace_back(std::move(p), beta);
+    }
+    return program;
+}
+
+} // namespace quclear

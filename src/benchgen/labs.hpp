@@ -1,0 +1,42 @@
+/**
+ * @file
+ * QAOA programs for the Low Autocorrelation Binary Sequences problem
+ * (Sec. VII). The LABS energy E(s) = sum_k C_k^2 with autocorrelations
+ * C_k = sum_i s_i s_{i+k} expands into 2-body and 4-body Pauli-Z
+ * rotations — the multi-qubit problem Hamiltonian that makes LABS a
+ * stress test for the compilers.
+ */
+#ifndef QUCLEAR_BENCHGEN_LABS_HPP
+#define QUCLEAR_BENCHGEN_LABS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "pauli/pauli_term.hpp"
+
+namespace quclear {
+
+/** One Z-product term of the LABS Hamiltonian with its coefficient. */
+struct LabsTerm
+{
+    std::vector<uint32_t> qubits; //!< sorted, distinct
+    double coefficient;
+};
+
+/**
+ * Expand the LABS energy into Z-product terms (constants dropped,
+ * duplicate supports merged). Deterministic ordering: by weight, then
+ * lexicographic support.
+ */
+std::vector<LabsTerm> labsHamiltonian(uint32_t n);
+
+/**
+ * Single-layer QAOA program for LABS: one rotation per Hamiltonian term
+ * (angle = gamma x coefficient), then the X mixer.
+ */
+std::vector<PauliTerm> labsQaoa(uint32_t n, double gamma = 0.3,
+                                double beta = 0.6);
+
+} // namespace quclear
+
+#endif // QUCLEAR_BENCHGEN_LABS_HPP

@@ -1,0 +1,27 @@
+#include "benchgen/maxcut.hpp"
+
+namespace quclear {
+
+std::vector<PauliTerm>
+maxcutQaoa(const Graph &graph, uint32_t layers, double gamma, double beta)
+{
+    const uint32_t n = graph.numVertices;
+    std::vector<PauliTerm> terms;
+    terms.reserve(layers * (graph.edges.size() + n));
+    for (uint32_t l = 0; l < layers; ++l) {
+        for (const auto &[a, b] : graph.edges) {
+            PauliString p(n);
+            p.setOp(a, PauliOp::Z);
+            p.setOp(b, PauliOp::Z);
+            terms.emplace_back(std::move(p), gamma);
+        }
+        for (uint32_t q = 0; q < n; ++q) {
+            PauliString p(n);
+            p.setOp(q, PauliOp::X);
+            terms.emplace_back(std::move(p), beta);
+        }
+    }
+    return terms;
+}
+
+} // namespace quclear

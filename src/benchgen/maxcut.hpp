@@ -1,0 +1,28 @@
+/**
+ * @file
+ * QAOA MaxCut benchmark programs (Sec. VII): one layer of the problem
+ * Hamiltonian (a ZZ rotation per edge) followed by the X mixer, matching
+ * the paper's single-iteration QAOA benchmarks.
+ */
+#ifndef QUCLEAR_BENCHGEN_MAXCUT_HPP
+#define QUCLEAR_BENCHGEN_MAXCUT_HPP
+
+#include <vector>
+
+#include "benchgen/graphs.hpp"
+#include "pauli/pauli_term.hpp"
+
+namespace quclear {
+
+/**
+ * Build the QAOA program for MaxCut on a graph.
+ * @param graph the problem graph
+ * @param layers QAOA depth p (the paper uses 1)
+ * @param gamma problem-layer angle; @param beta mixer-layer angle
+ */
+std::vector<PauliTerm> maxcutQaoa(const Graph &graph, uint32_t layers = 1,
+                                  double gamma = 0.4, double beta = 0.7);
+
+} // namespace quclear
+
+#endif // QUCLEAR_BENCHGEN_MAXCUT_HPP

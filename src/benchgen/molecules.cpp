@@ -1,0 +1,119 @@
+#include "benchgen/molecules.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace quclear {
+
+namespace {
+
+void
+fillZString(PauliString &p, uint32_t lo, uint32_t hi)
+{
+    for (uint32_t q = lo + 1; q < hi; ++q)
+        p.setOp(q, PauliOp::Z);
+}
+
+} // namespace
+
+std::vector<PauliTerm>
+syntheticMolecule(uint32_t n, size_t target_terms, uint64_t seed, double dt)
+{
+    Rng rng(seed);
+    std::vector<PauliTerm> terms;
+    terms.reserve(target_terms);
+
+    auto push = [&](PauliString p, double scale) {
+        if (terms.size() < target_terms)
+            terms.emplace_back(std::move(p),
+                               dt * rng.uniformReal(-scale, scale));
+    };
+
+    // Diagonal one-body terms: Z_p (orbital energies).
+    for (uint32_t p = 0; p < n && terms.size() < target_terms; ++p) {
+        PauliString z(n);
+        z.setOp(p, PauliOp::Z);
+        push(std::move(z), 1.0);
+    }
+    // Diagonal two-body terms: Z_p Z_q (Coulomb/exchange).
+    for (uint32_t p = 0; p < n; ++p) {
+        for (uint32_t q = p + 1; q < n; ++q) {
+            PauliString zz(n);
+            zz.setOp(p, PauliOp::Z);
+            zz.setOp(q, PauliOp::Z);
+            push(std::move(zz), 0.5);
+        }
+    }
+    // Hopping terms: {X Z..Z X, Y Z..Z Y} per orbital pair.
+    for (uint32_t p = 0; p < n; ++p) {
+        for (uint32_t q = p + 1; q < n; ++q) {
+            PauliString xx(n);
+            xx.setOp(p, PauliOp::X);
+            xx.setOp(q, PauliOp::X);
+            fillZString(xx, p, q);
+            push(std::move(xx), 0.3);
+            PauliString yy(n);
+            yy.setOp(p, PauliOp::Y);
+            yy.setOp(q, PauliOp::Y);
+            fillZString(yy, p, q);
+            push(std::move(yy), 0.3);
+        }
+    }
+    // Double-excitation octets over random orbital quadruples until the
+    // target term count is reached (the tail octet may be truncated,
+    // mirroring how real Hamiltonians have irregular term counts).
+    while (terms.size() < target_terms) {
+        uint32_t idx[4];
+        idx[0] = static_cast<uint32_t>(rng.uniformInt(n));
+        idx[1] = static_cast<uint32_t>(rng.uniformInt(n));
+        idx[2] = static_cast<uint32_t>(rng.uniformInt(n));
+        idx[3] = static_cast<uint32_t>(rng.uniformInt(n));
+        // Require distinct, sorted quadruple.
+        bool distinct = true;
+        for (int a = 0; a < 4 && distinct; ++a)
+            for (int b = a + 1; b < 4; ++b)
+                if (idx[a] == idx[b])
+                    distinct = false;
+        if (!distinct)
+            continue;
+        std::sort(std::begin(idx), std::end(idx));
+        const double theta = rng.uniformReal(-0.1, 0.1);
+        for (uint32_t mask = 0; mask < 16 && terms.size() < target_terms;
+             ++mask) {
+            if (__builtin_popcount(mask) % 2 == 0)
+                continue;
+            PauliString p(n);
+            for (int k = 0; k < 4; ++k)
+                p.setOp(idx[k],
+                        (mask >> k) & 1 ? PauliOp::Y : PauliOp::X);
+            fillZString(p, idx[0], idx[1]);
+            fillZString(p, idx[2], idx[3]);
+            terms.emplace_back(std::move(p), dt * theta);
+        }
+    }
+
+    assert(terms.size() == target_terms);
+    return terms;
+}
+
+std::vector<PauliTerm>
+lihHamiltonianSim()
+{
+    return syntheticMolecule(6, 61, 0x11B, 0.1);
+}
+
+std::vector<PauliTerm>
+h2oHamiltonianSim()
+{
+    return syntheticMolecule(8, 184, 0x1120, 0.1);
+}
+
+std::vector<PauliTerm>
+benzeneHamiltonianSim()
+{
+    return syntheticMolecule(12, 1254, 0xC6116, 0.1);
+}
+
+} // namespace quclear

@@ -1,0 +1,63 @@
+#include "benchgen/spin_chains.hpp"
+
+namespace quclear {
+
+namespace {
+
+PauliTerm
+twoSiteTerm(uint32_t n, uint32_t a, uint32_t b, PauliOp op, double angle)
+{
+    PauliString p(n);
+    p.setOp(a, op);
+    p.setOp(b, op);
+    return PauliTerm(std::move(p), angle);
+}
+
+PauliTerm
+oneSiteTerm(uint32_t n, uint32_t q, PauliOp op, double angle)
+{
+    PauliString p(n);
+    p.setOp(q, op);
+    return PauliTerm(std::move(p), angle);
+}
+
+} // namespace
+
+std::vector<PauliTerm>
+tfimTrotter(uint32_t n, uint32_t steps, double dt, double j_coupling,
+            double field, bool periodic)
+{
+    // e^{-iHt} with H = -J sum ZZ - h sum X: each Trotter step applies
+    // e^{i J dt Z_i Z_{i+1}} then e^{i h dt X_i}.
+    std::vector<PauliTerm> terms;
+    const uint32_t bonds = periodic ? n : n - 1;
+    terms.reserve(steps * (bonds + n));
+    for (uint32_t s = 0; s < steps; ++s) {
+        for (uint32_t i = 0; i < bonds; ++i)
+            terms.push_back(twoSiteTerm(n, i, (i + 1) % n, PauliOp::Z,
+                                        j_coupling * dt));
+        for (uint32_t q = 0; q < n; ++q)
+            terms.push_back(oneSiteTerm(n, q, PauliOp::X, field * dt));
+    }
+    return terms;
+}
+
+std::vector<PauliTerm>
+heisenbergTrotter(uint32_t n, uint32_t steps, double dt, double jx,
+                  double jy, double jz, bool periodic)
+{
+    std::vector<PauliTerm> terms;
+    const uint32_t bonds = periodic ? n : n - 1;
+    terms.reserve(steps * bonds * 3);
+    for (uint32_t s = 0; s < steps; ++s) {
+        for (uint32_t i = 0; i < bonds; ++i) {
+            const uint32_t j = (i + 1) % n;
+            terms.push_back(twoSiteTerm(n, i, j, PauliOp::X, -jx * dt));
+            terms.push_back(twoSiteTerm(n, i, j, PauliOp::Y, -jy * dt));
+            terms.push_back(twoSiteTerm(n, i, j, PauliOp::Z, -jz * dt));
+        }
+    }
+    return terms;
+}
+
+} // namespace quclear

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Many-body physics benchmark generators: Trotterized time evolution of
+ * the transverse-field Ising model and the Heisenberg XXZ chain — the
+ * Hamiltonian-simulation applications the paper's introduction cites
+ * ([23], [41], and the quantum-utility demonstration [26], which evolved
+ * a transverse-field Ising model).
+ */
+#ifndef QUCLEAR_BENCHGEN_SPIN_CHAINS_HPP
+#define QUCLEAR_BENCHGEN_SPIN_CHAINS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "pauli/pauli_term.hpp"
+
+namespace quclear {
+
+/**
+ * Transverse-field Ising model H = -J sum Z_i Z_{i+1} - h sum X_i,
+ * first-order Trotterized: per step, a ZZ rotation per bond followed by
+ * an X rotation per site.
+ * @param n sites; @param steps Trotter steps; @param dt step size
+ * @param periodic close the chain into a ring
+ */
+std::vector<PauliTerm> tfimTrotter(uint32_t n, uint32_t steps,
+                                   double dt = 0.1, double j_coupling = 1.0,
+                                   double field = 1.0,
+                                   bool periodic = false);
+
+/**
+ * Heisenberg XXZ chain H = sum (Jx X_i X_{i+1} + Jy Y_i Y_{i+1} +
+ * Jz Z_i Z_{i+1}), first-order Trotterized bond by bond.
+ */
+std::vector<PauliTerm> heisenbergTrotter(uint32_t n, uint32_t steps,
+                                         double dt = 0.1, double jx = 1.0,
+                                         double jy = 1.0, double jz = 1.5,
+                                         bool periodic = false);
+
+} // namespace quclear
+
+#endif // QUCLEAR_BENCHGEN_SPIN_CHAINS_HPP

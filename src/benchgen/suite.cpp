@@ -1,0 +1,126 @@
+#include "benchgen/suite.hpp"
+
+#include <stdexcept>
+
+#include "benchgen/labs.hpp"
+#include "benchgen/maxcut.hpp"
+#include "benchgen/molecules.hpp"
+#include "benchgen/uccsd.hpp"
+#include "pauli/pauli_list.hpp"
+
+namespace quclear {
+
+namespace {
+
+constexpr uint64_t kGraphSeedBase = 0x5EED;
+
+Benchmark
+make(const std::string &name, BenchmarkKind kind,
+     std::vector<PauliTerm> terms)
+{
+    Benchmark b;
+    b.name = name;
+    b.kind = kind;
+    b.terms = std::move(terms);
+    b.numQubits = numQubitsOf(b.terms);
+    return b;
+}
+
+} // namespace
+
+Benchmark
+makeBenchmark(const std::string &name)
+{
+    // UCCSD ansatzes.
+    if (name == "UCC-(2,4)")
+        return make(name, BenchmarkKind::Uccsd, uccsdAnsatz(2, 4));
+    if (name == "UCC-(2,6)")
+        return make(name, BenchmarkKind::Uccsd, uccsdAnsatz(2, 6));
+    if (name == "UCC-(4,8)")
+        return make(name, BenchmarkKind::Uccsd, uccsdAnsatz(4, 8));
+    if (name == "UCC-(6,12)")
+        return make(name, BenchmarkKind::Uccsd, uccsdAnsatz(6, 12));
+    if (name == "UCC-(8,16)")
+        return make(name, BenchmarkKind::Uccsd, uccsdAnsatz(8, 16));
+    if (name == "UCC-(10,20)")
+        return make(name, BenchmarkKind::Uccsd, uccsdAnsatz(10, 20));
+
+    // Hamiltonian simulation molecules.
+    if (name == "LiH")
+        return make(name, BenchmarkKind::HamiltonianSim,
+                    lihHamiltonianSim());
+    if (name == "H2O")
+        return make(name, BenchmarkKind::HamiltonianSim,
+                    h2oHamiltonianSim());
+    if (name == "benzene")
+        return make(name, BenchmarkKind::HamiltonianSim,
+                    benzeneHamiltonianSim());
+
+    // QAOA LABS.
+    if (name == "LABS-(n10)")
+        return make(name, BenchmarkKind::QaoaLabs, labsQaoa(10));
+    if (name == "LABS-(n15)")
+        return make(name, BenchmarkKind::QaoaLabs, labsQaoa(15));
+    if (name == "LABS-(n20)")
+        return make(name, BenchmarkKind::QaoaLabs, labsQaoa(20));
+
+    // QAOA MaxCut on regular graphs.
+    if (name == "MaxCut-(n15,r4)")
+        return make(name, BenchmarkKind::QaoaMaxcut,
+                    maxcutQaoa(randomRegularGraph(15, 4, kGraphSeedBase)));
+    if (name == "MaxCut-(n20,r4)")
+        return make(name, BenchmarkKind::QaoaMaxcut,
+                    maxcutQaoa(randomRegularGraph(20, 4,
+                                                  kGraphSeedBase + 1)));
+    if (name == "MaxCut-(n20,r8)")
+        return make(name, BenchmarkKind::QaoaMaxcut,
+                    maxcutQaoa(randomRegularGraph(20, 8,
+                                                  kGraphSeedBase + 2)));
+    if (name == "MaxCut-(n20,r12)")
+        return make(name, BenchmarkKind::QaoaMaxcut,
+                    maxcutQaoa(randomRegularGraph(20, 12,
+                                                  kGraphSeedBase + 3)));
+
+    // QAOA MaxCut on random graphs with exact edge counts.
+    if (name == "MaxCut-(n10,e12)")
+        return make(name, BenchmarkKind::QaoaMaxcut,
+                    maxcutQaoa(randomGraph(10, 12, kGraphSeedBase + 4)));
+    if (name == "MaxCut-(n15,e63)")
+        return make(name, BenchmarkKind::QaoaMaxcut,
+                    maxcutQaoa(randomGraph(15, 63, kGraphSeedBase + 5)));
+    if (name == "MaxCut-(n20,e117)")
+        return make(name, BenchmarkKind::QaoaMaxcut,
+                    maxcutQaoa(randomGraph(20, 117, kGraphSeedBase + 6)));
+
+    throw std::invalid_argument("unknown benchmark: " + name);
+}
+
+std::vector<std::string>
+allBenchmarkNames()
+{
+    return {
+        "UCC-(2,4)",        "UCC-(2,6)",        "UCC-(4,8)",
+        "UCC-(6,12)",       "UCC-(8,16)",       "UCC-(10,20)",
+        "LiH",              "H2O",              "benzene",
+        "LABS-(n10)",       "LABS-(n15)",       "LABS-(n20)",
+        "MaxCut-(n15,r4)",  "MaxCut-(n20,r4)",  "MaxCut-(n20,r8)",
+        "MaxCut-(n20,r12)", "MaxCut-(n10,e12)", "MaxCut-(n15,e63)",
+        "MaxCut-(n20,e117)",
+    };
+}
+
+std::vector<std::string>
+fastBenchmarkNames()
+{
+    return {
+        "UCC-(2,4)",        "UCC-(2,6)",        "UCC-(4,8)",
+        "UCC-(6,12)",
+        "LiH",              "H2O",              "benzene",
+        "LABS-(n10)",       "LABS-(n15)",       "LABS-(n20)",
+        "MaxCut-(n15,r4)",  "MaxCut-(n20,r4)",  "MaxCut-(n20,r8)",
+        "MaxCut-(n20,r12)", "MaxCut-(n10,e12)", "MaxCut-(n15,e63)",
+        "MaxCut-(n20,e117)",
+    };
+}
+
+} // namespace quclear

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The 19-benchmark suite of Table II, addressable by the paper's names.
+ * Every bench binary and the integration tests pull workloads from here
+ * so the whole evaluation runs on identical, seeded instances.
+ */
+#ifndef QUCLEAR_BENCHGEN_SUITE_HPP
+#define QUCLEAR_BENCHGEN_SUITE_HPP
+
+#include <string>
+#include <vector>
+
+#include "pauli/pauli_term.hpp"
+
+namespace quclear {
+
+/** Workload category, mirroring Table II's Type column. */
+enum class BenchmarkKind
+{
+    Uccsd,
+    HamiltonianSim,
+    QaoaLabs,
+    QaoaMaxcut,
+};
+
+/** One named benchmark instance. */
+struct Benchmark
+{
+    std::string name;
+    BenchmarkKind kind;
+    uint32_t numQubits;
+    std::vector<PauliTerm> terms;
+
+    /** True for QAOA workloads (probability-mode absorption). */
+    bool
+    isQaoa() const
+    {
+        return kind == BenchmarkKind::QaoaLabs ||
+               kind == BenchmarkKind::QaoaMaxcut;
+    }
+};
+
+/**
+ * Build one benchmark by its Table II name, e.g. "UCC-(4,8)", "LiH",
+ * "LABS-(n15)", "MaxCut-(n20,r8)", "MaxCut-(n15,e63)".
+ * @throws std::invalid_argument for unknown names
+ */
+Benchmark makeBenchmark(const std::string &name);
+
+/** All 19 Table II benchmark names in row order. */
+std::vector<std::string> allBenchmarkNames();
+
+/**
+ * The subset that completes quickly (skips the two largest UCC sizes);
+ * used by default in the bench harnesses, with an environment switch
+ * (QUCLEAR_FULL=1) enabling the full suite.
+ */
+std::vector<std::string> fastBenchmarkNames();
+
+} // namespace quclear
+
+#endif // QUCLEAR_BENCHGEN_SUITE_HPP

@@ -1,0 +1,102 @@
+#include "benchgen/uccsd.hpp"
+
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace quclear {
+
+namespace {
+
+/** Z string on the open interval (lo, hi). */
+void
+fillZString(PauliString &p, uint32_t lo, uint32_t hi)
+{
+    for (uint32_t q = lo + 1; q < hi; ++q)
+        p.setOp(q, PauliOp::Z);
+}
+
+/** Append the two JW strings of a single excitation i -> a (i < a). */
+void
+appendSingle(std::vector<PauliTerm> &terms, uint32_t n, uint32_t i,
+             uint32_t a, double theta)
+{
+    assert(i < a && a < n);
+    PauliString xy(n);
+    xy.setOp(i, PauliOp::X);
+    xy.setOp(a, PauliOp::Y);
+    fillZString(xy, i, a);
+    terms.emplace_back(std::move(xy), theta / 2);
+
+    PauliString yx(n);
+    yx.setOp(i, PauliOp::Y);
+    yx.setOp(a, PauliOp::X);
+    fillZString(yx, i, a);
+    terms.emplace_back(std::move(yx), -theta / 2);
+}
+
+/**
+ * Append the eight JW strings of a double excitation (i,j) -> (a,b)
+ * with i < j < a < b: all X/Y assignments with odd Y parity; sign + for
+ * one Y, - for three Y (a fixed convention — the compiled circuit is
+ * verified against the same operator, see DESIGN.md).
+ */
+void
+appendDouble(std::vector<PauliTerm> &terms, uint32_t n, uint32_t i,
+             uint32_t j, uint32_t a, uint32_t b, double theta)
+{
+    assert(i < j && j < a && a < b && b < n);
+    const uint32_t pos[4] = { i, j, a, b };
+    for (uint32_t mask = 0; mask < 16; ++mask) {
+        const int y_count = __builtin_popcount(mask);
+        if (y_count % 2 == 0)
+            continue;
+        PauliString p(n);
+        for (int k = 0; k < 4; ++k)
+            p.setOp(pos[k], (mask >> k) & 1 ? PauliOp::Y : PauliOp::X);
+        fillZString(p, i, j);
+        fillZString(p, a, b);
+        const double sign = (y_count == 1) ? 1.0 : -1.0;
+        terms.emplace_back(std::move(p), sign * theta / 8);
+    }
+}
+
+} // namespace
+
+std::vector<PauliTerm>
+uccsdAnsatz(uint32_t num_electrons, uint32_t num_orbitals, uint64_t seed)
+{
+    assert(num_electrons < num_orbitals);
+    const uint32_t n = num_orbitals;
+    Rng rng(seed);
+    std::vector<PauliTerm> terms;
+    terms.reserve(uccsdTermCount(num_electrons, num_orbitals));
+
+    // Singles: every occupied -> virtual pair.
+    for (uint32_t i = 0; i < num_electrons; ++i)
+        for (uint32_t a = num_electrons; a < n; ++a)
+            appendSingle(terms, n, i, a, rng.uniformReal(-0.2, 0.2));
+
+    // Doubles: every occupied pair -> virtual pair.
+    for (uint32_t i = 0; i < num_electrons; ++i)
+        for (uint32_t j = i + 1; j < num_electrons; ++j)
+            for (uint32_t a = num_electrons; a < n; ++a)
+                for (uint32_t b = a + 1; b < n; ++b)
+                    appendDouble(terms, n, i, j, a, b,
+                                 rng.uniformReal(-0.1, 0.1));
+
+    return terms;
+}
+
+size_t
+uccsdTermCount(uint32_t num_electrons, uint32_t num_orbitals)
+{
+    const size_t occ = num_electrons;
+    const size_t virt = num_orbitals - num_electrons;
+    const size_t singles = occ * virt;
+    const size_t doubles =
+        (occ * (occ - 1) / 2) * (virt * (virt - 1) / 2);
+    return 2 * singles + 8 * doubles;
+}
+
+} // namespace quclear

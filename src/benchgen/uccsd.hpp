@@ -1,0 +1,38 @@
+/**
+ * @file
+ * UCCSD ansatz generator via the Jordan-Wigner transformation
+ * (Sec. VII benchmarks UCC-(e,o)).
+ *
+ * Spin-orbital model: orbitals 0..e-1 occupied, e..o-1 virtual
+ * (spinless enumeration; UCC-(4,8) reproduces Table II's 320 Pauli
+ * strings exactly, other sizes are close — see DESIGN.md section 4).
+ * Singles i->a contribute the standard pair
+ * {X Z..Z Y, Y Z..Z X}; doubles (i,j)->(a,b) contribute the eight
+ * odd-Y-parity strings with alternating signs.
+ */
+#ifndef QUCLEAR_BENCHGEN_UCCSD_HPP
+#define QUCLEAR_BENCHGEN_UCCSD_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "pauli/pauli_term.hpp"
+
+namespace quclear {
+
+/**
+ * Build the UCCSD ansatz program.
+ * @param num_electrons number of (spinless) occupied orbitals e
+ * @param num_orbitals total spin-orbital count o (qubits)
+ * @param seed drives the deterministic variational parameters
+ */
+std::vector<PauliTerm> uccsdAnsatz(uint32_t num_electrons,
+                                   uint32_t num_orbitals,
+                                   uint64_t seed = 42);
+
+/** Number of Pauli terms the generator will produce for (e, o). */
+size_t uccsdTermCount(uint32_t num_electrons, uint32_t num_orbitals);
+
+} // namespace quclear
+
+#endif // QUCLEAR_BENCHGEN_UCCSD_HPP

@@ -1,0 +1,52 @@
+#include "circuit/circuit_stats.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace quclear {
+
+size_t
+entanglingDepth(const QuantumCircuit &qc)
+{
+    std::vector<size_t> level(qc.numQubits(), 0);
+    size_t depth = 0;
+    for (const Gate &g : qc.gates()) {
+        if (!isTwoQubit(g.type))
+            continue;
+        size_t l = std::max(level[g.q0], level[g.q1]) + 1;
+        level[g.q0] = l;
+        level[g.q1] = l;
+        depth = std::max(depth, l);
+    }
+    return depth;
+}
+
+size_t
+totalDepth(const QuantumCircuit &qc)
+{
+    std::vector<size_t> level(qc.numQubits(), 0);
+    size_t depth = 0;
+    for (const Gate &g : qc.gates()) {
+        size_t l = isTwoQubit(g.type)
+            ? std::max(level[g.q0], level[g.q1]) + 1
+            : level[g.q0] + 1;
+        level[g.q0] = l;
+        if (isTwoQubit(g.type))
+            level[g.q1] = l;
+        depth = std::max(depth, l);
+    }
+    return depth;
+}
+
+CircuitStats
+computeStats(const QuantumCircuit &qc)
+{
+    CircuitStats stats;
+    stats.cxCount = qc.twoQubitCount(true);
+    stats.singleQubitCount = qc.singleQubitCount();
+    stats.entanglingDepth = entanglingDepth(qc);
+    stats.totalDepth = totalDepth(qc);
+    return stats;
+}
+
+} // namespace quclear

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Circuit metrics reported in the paper's evaluation: CNOT gate count,
+ * entangling depth (CNOT-depth), and total depth.
+ */
+#ifndef QUCLEAR_CIRCUIT_CIRCUIT_STATS_HPP
+#define QUCLEAR_CIRCUIT_CIRCUIT_STATS_HPP
+
+#include <cstddef>
+
+#include "circuit/quantum_circuit.hpp"
+
+namespace quclear {
+
+/** Summary of the metrics compared in Tables II/III. */
+struct CircuitStats
+{
+    size_t cxCount = 0;          //!< two-qubit gates, SWAP counted as 3
+    size_t singleQubitCount = 0;
+    size_t entanglingDepth = 0;  //!< depth counting only two-qubit gates
+    size_t totalDepth = 0;       //!< depth counting every gate
+};
+
+/**
+ * Depth of the circuit counting only two-qubit gates: the length of the
+ * longest chain of two-qubit gates that share qubits. Single-qubit gates
+ * are transparent (do not advance any qubit's clock), matching the
+ * "entangling depth" metric of Table III.
+ */
+size_t entanglingDepth(const QuantumCircuit &qc);
+
+/** Depth counting every gate (standard circuit depth). */
+size_t totalDepth(const QuantumCircuit &qc);
+
+/** Compute all metrics in one pass. */
+CircuitStats computeStats(const QuantumCircuit &qc);
+
+} // namespace quclear
+
+#endif // QUCLEAR_CIRCUIT_CIRCUIT_STATS_HPP

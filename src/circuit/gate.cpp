@@ -1,0 +1,39 @@
+#include "circuit/gate.hpp"
+
+namespace quclear {
+
+std::string
+gateName(GateType t)
+{
+    switch (t) {
+      case GateType::H:    return "h";
+      case GateType::S:    return "s";
+      case GateType::Sdg:  return "sdg";
+      case GateType::X:    return "x";
+      case GateType::Y:    return "y";
+      case GateType::Z:    return "z";
+      case GateType::SX:   return "sx";
+      case GateType::SXdg: return "sxdg";
+      case GateType::Rz:   return "rz";
+      case GateType::Rx:   return "rx";
+      case GateType::Ry:   return "ry";
+      case GateType::CX:   return "cx";
+      case GateType::CZ:   return "cz";
+      case GateType::Swap: return "swap";
+    }
+    return "?";
+}
+
+GateType
+inverseType(GateType t)
+{
+    switch (t) {
+      case GateType::S:    return GateType::Sdg;
+      case GateType::Sdg:  return GateType::S;
+      case GateType::SX:   return GateType::SXdg;
+      case GateType::SXdg: return GateType::SX;
+      default:             return t; // self-inverse or angle-negated
+    }
+}
+
+} // namespace quclear

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Gate vocabulary of the circuit IR. The set covers everything QuCLEAR
+ * and the baselines emit: the Clifford generators (H, S, Sdg, CX, CZ,
+ * SWAP, paulis, sqrt-X) plus the non-Clifford rotations Rz/Rx/Ry.
+ */
+#ifndef QUCLEAR_CIRCUIT_GATE_HPP
+#define QUCLEAR_CIRCUIT_GATE_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace quclear {
+
+/** Gate kinds supported by the IR. */
+enum class GateType : uint8_t
+{
+    H,
+    S,
+    Sdg,
+    X,
+    Y,
+    Z,
+    SX,    //!< sqrt(X)
+    SXdg,  //!< sqrt(X) dagger
+    Rz,    //!< Rz(theta) = exp(-i theta Z / 2)
+    Rx,    //!< Rx(theta) = exp(-i theta X / 2)
+    Ry,    //!< Ry(theta) = exp(-i theta Y / 2)
+    CX,
+    CZ,
+    Swap,
+};
+
+/** One gate instance: a type, one or two qubits, and an optional angle. */
+struct Gate
+{
+    GateType type;
+    uint32_t q0;        //!< target for 1q gates; control for CX
+    uint32_t q1;        //!< target for 2q gates; unused (=q0) for 1q gates
+    double angle;       //!< rotation angle; 0 for non-parameterized gates
+
+    Gate(GateType t, uint32_t a) : type(t), q0(a), q1(a), angle(0.0) {}
+    Gate(GateType t, uint32_t a, double th)
+        : type(t), q0(a), q1(a), angle(th) {}
+    Gate(GateType t, uint32_t a, uint32_t b)
+        : type(t), q0(a), q1(b), angle(0.0) {}
+
+    bool operator==(const Gate &other) const
+    {
+        return type == other.type && q0 == other.q0 && q1 == other.q1 &&
+               angle == other.angle;
+    }
+};
+
+/** True iff the gate acts on two qubits. */
+constexpr bool
+isTwoQubit(GateType t)
+{
+    return t == GateType::CX || t == GateType::CZ || t == GateType::Swap;
+}
+
+/** True iff the gate is a member of the Clifford group. */
+constexpr bool
+isClifford(GateType t)
+{
+    return t != GateType::Rz && t != GateType::Rx && t != GateType::Ry;
+}
+
+/** True iff the gate takes an angle parameter. */
+constexpr bool
+isParameterized(GateType t)
+{
+    return t == GateType::Rz || t == GateType::Rx || t == GateType::Ry;
+}
+
+/** Lower-case mnemonic, e.g. "cx", "rz", "sdg". */
+std::string gateName(GateType t);
+
+/** Inverse gate type for self-contained inversion (Rz inverts via -angle). */
+GateType inverseType(GateType t);
+
+} // namespace quclear
+
+#endif // QUCLEAR_CIRCUIT_GATE_HPP

@@ -1,0 +1,28 @@
+#include "circuit/qasm.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace quclear {
+
+std::string
+toQasm(const QuantumCircuit &qc)
+{
+    std::ostringstream out;
+    out << "OPENQASM 2.0;\n"
+        << "include \"qelib1.inc\";\n"
+        << "qreg q[" << qc.numQubits() << "];\n";
+    out << std::setprecision(17);
+    for (const Gate &g : qc.gates()) {
+        out << gateName(g.type);
+        if (isParameterized(g.type))
+            out << "(" << g.angle << ")";
+        out << " q[" << g.q0 << "]";
+        if (isTwoQubit(g.type))
+            out << ",q[" << g.q1 << "]";
+        out << ";\n";
+    }
+    return out.str();
+}
+
+} // namespace quclear

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * OpenQASM 2.0 export so optimized circuits can be handed to any external
+ * toolchain — the paper stresses that QuCLEAR's output is platform
+ * independent (Sec. IV).
+ */
+#ifndef QUCLEAR_CIRCUIT_QASM_HPP
+#define QUCLEAR_CIRCUIT_QASM_HPP
+
+#include <string>
+
+#include "circuit/quantum_circuit.hpp"
+
+namespace quclear {
+
+/** Serialize to OpenQASM 2.0 (includes header and qreg declaration). */
+std::string toQasm(const QuantumCircuit &qc);
+
+} // namespace quclear
+
+#endif // QUCLEAR_CIRCUIT_QASM_HPP

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * OpenQASM 2.0 import for the gate subset the IR supports. Together
+ * with the gate-level front end (circuit_to_paulis) this lets QuCLEAR
+ * optimize circuits produced by any external toolchain — the
+ * platform-independence claim of Sec. IV.
+ */
+#ifndef QUCLEAR_CIRCUIT_QASM_IMPORT_HPP
+#define QUCLEAR_CIRCUIT_QASM_IMPORT_HPP
+
+#include <string>
+
+#include "circuit/quantum_circuit.hpp"
+
+namespace quclear {
+
+/**
+ * Parse an OpenQASM 2.0 program.
+ *
+ * Supported: one qreg, the gates h/s/sdg/x/y/z/sx/sxdg/rz/rx/ry/cx/cz/
+ * swap, `pi`-expressions in angles (e.g. "pi/2", "-3*pi/4", "0.25"),
+ * comments, `include` and `creg`/`measure`/`barrier` statements (which
+ * are ignored).
+ *
+ * @throws std::invalid_argument on malformed input or unsupported gates
+ */
+QuantumCircuit fromQasm(const std::string &source);
+
+} // namespace quclear
+
+#endif // QUCLEAR_CIRCUIT_QASM_IMPORT_HPP

@@ -1,0 +1,113 @@
+#include "circuit/quantum_circuit.hpp"
+
+#include <cassert>
+#include <sstream>
+
+#include "pauli/pauli_string.hpp"
+
+namespace quclear {
+
+void
+QuantumCircuit::append(const Gate &g)
+{
+    assert(g.q0 < numQubits_);
+    assert(g.q1 < numQubits_);
+    assert(!isTwoQubit(g.type) || g.q0 != g.q1);
+    gates_.push_back(g);
+}
+
+void
+QuantumCircuit::appendCircuit(const QuantumCircuit &other)
+{
+    assert(other.numQubits_ == numQubits_);
+    gates_.insert(gates_.end(), other.gates_.begin(), other.gates_.end());
+}
+
+QuantumCircuit
+QuantumCircuit::inverse() const
+{
+    QuantumCircuit inv(numQubits_);
+    inv.gates_.reserve(gates_.size());
+    for (size_t i = gates_.size(); i-- > 0;) {
+        Gate g = gates_[i];
+        g.type = inverseType(g.type);
+        if (isParameterized(g.type))
+            g.angle = -g.angle;
+        inv.gates_.push_back(g);
+    }
+    return inv;
+}
+
+void
+QuantumCircuit::conjugatePauli(PauliString &p) const
+{
+    assert(p.numQubits() == numQubits_);
+    for (const Gate &g : gates_) {
+        switch (g.type) {
+          case GateType::H:    p.applyH(g.q0); break;
+          case GateType::S:    p.applyS(g.q0); break;
+          case GateType::Sdg:  p.applySdg(g.q0); break;
+          case GateType::X:    p.applyX(g.q0); break;
+          case GateType::Y:    p.applyY(g.q0); break;
+          case GateType::Z:    p.applyZ(g.q0); break;
+          case GateType::SX:   p.applySqrtX(g.q0); break;
+          case GateType::SXdg: p.applySqrtXdg(g.q0); break;
+          case GateType::CX:   p.applyCX(g.q0, g.q1); break;
+          case GateType::CZ:   p.applyCZ(g.q0, g.q1); break;
+          case GateType::Swap: p.applySwap(g.q0, g.q1); break;
+          default:
+            assert(false && "conjugatePauli requires a Clifford circuit");
+        }
+    }
+}
+
+size_t
+QuantumCircuit::twoQubitCount(bool swap_as_cx) const
+{
+    size_t count = 0;
+    for (const Gate &g : gates_) {
+        if (g.type == GateType::Swap)
+            count += swap_as_cx ? 3 : 1;
+        else if (isTwoQubit(g.type))
+            ++count;
+    }
+    return count;
+}
+
+size_t
+QuantumCircuit::singleQubitCount() const
+{
+    size_t count = 0;
+    for (const Gate &g : gates_)
+        if (!isTwoQubit(g.type))
+            ++count;
+    return count;
+}
+
+bool
+QuantumCircuit::isClifford() const
+{
+    for (const Gate &g : gates_)
+        if (!quclear::isClifford(g.type))
+            return false;
+    return true;
+}
+
+std::string
+QuantumCircuit::toString() const
+{
+    std::ostringstream out;
+    out << "circuit(" << numQubits_ << " qubits, " << gates_.size()
+        << " gates)\n";
+    for (const Gate &g : gates_) {
+        out << "  " << gateName(g.type) << " q" << g.q0;
+        if (isTwoQubit(g.type))
+            out << ", q" << g.q1;
+        if (isParameterized(g.type))
+            out << " (" << g.angle << ")";
+        out << '\n';
+    }
+    return out.str();
+}
+
+} // namespace quclear

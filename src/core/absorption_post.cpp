@@ -1,0 +1,51 @@
+#include "core/absorption_post.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace quclear {
+
+double
+rawParityMean(const AbsorbedObservable &obs,
+              const std::map<uint64_t, uint64_t> &counts)
+{
+    uint64_t mask = 0;
+    for (uint32_t q : obs.measuredQubits)
+        mask |= 1ULL << q;
+
+    uint64_t total = 0;
+    int64_t acc = 0;
+    for (const auto &[bits, count] : counts) {
+        const int parity = std::popcount(bits & mask) & 1;
+        acc += parity ? -static_cast<int64_t>(count)
+                      : static_cast<int64_t>(count);
+        total += count;
+    }
+    assert(total > 0);
+    return static_cast<double>(acc) / static_cast<double>(total);
+}
+
+double
+expectationFromCounts(const AbsorbedObservable &obs,
+                      const std::map<uint64_t, uint64_t> &counts)
+{
+    return obs.sign * rawParityMean(obs, counts);
+}
+
+uint64_t
+remapBitstring(const ReducedClifford &reduction, uint64_t bits)
+{
+    return reduction.network.apply(bits) ^ reduction.xMask;
+}
+
+std::map<uint64_t, uint64_t>
+remapCounts(const ReducedClifford &reduction,
+            const std::map<uint64_t, uint64_t> &counts)
+{
+    std::map<uint64_t, uint64_t> out;
+    for (const auto &[bits, count] : counts)
+        out[remapBitstring(reduction, bits)] += count;
+    return out;
+}
+
+} // namespace quclear

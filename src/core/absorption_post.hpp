@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Clifford Absorption post-processing (CA-Post module, Sec. VI).
+ *
+ * Observable mode: maps measured Z-basis bitstring counts to the
+ * expectation value of the original observable (parity of the support
+ * bits, times the absorbed sign).
+ *
+ * Probability mode: pushes each measured bitstring through the absorbed
+ * CNOT network with XOR operations — O(m k) for m network CNOTs and k
+ * shots, as analyzed in Sec. VI-B.
+ */
+#ifndef QUCLEAR_CORE_ABSORPTION_POST_HPP
+#define QUCLEAR_CORE_ABSORPTION_POST_HPP
+
+#include <cstdint>
+#include <map>
+
+#include "core/absorption_pre.hpp"
+
+namespace quclear {
+
+/**
+ * Expectation of the *original* observable from counts measured on the
+ * circuit optimized + basisChange (bit q of a key = outcome of qubit q).
+ */
+double expectationFromCounts(const AbsorbedObservable &obs,
+                             const std::map<uint64_t, uint64_t> &counts);
+
+/** Expectation of O' directly from a +-1 parity sample mean (no sign). */
+double rawParityMean(const AbsorbedObservable &obs,
+                     const std::map<uint64_t, uint64_t> &counts);
+
+/**
+ * Remap a measured distribution through the absorbed CNOT network and
+ * bit-flip corrections: each bitstring s becomes A.s XOR xMask.
+ */
+std::map<uint64_t, uint64_t>
+remapCounts(const ReducedClifford &reduction,
+            const std::map<uint64_t, uint64_t> &counts);
+
+/** Remap one bitstring (the per-shot operation inside remapCounts). */
+uint64_t remapBitstring(const ReducedClifford &reduction, uint64_t bits);
+
+} // namespace quclear
+
+#endif // QUCLEAR_CORE_ABSORPTION_POST_HPP

@@ -1,0 +1,71 @@
+#include "core/absorption_pre.hpp"
+
+#include <cassert>
+
+namespace quclear {
+
+std::vector<AbsorbedObservable>
+absorbObservables(const ExtractionResult &extraction,
+                  const std::vector<PauliString> &observables)
+{
+    const uint32_t n = extraction.optimized.numQubits();
+    std::vector<AbsorbedObservable> absorbed;
+    absorbed.reserve(observables.size());
+
+    for (const PauliString &obs : observables) {
+        AbsorbedObservable a;
+        a.original = obs;
+        // O' = U_CL~ O U_CL = E O E~, which is exactly the conjugator
+        // tableau's map (U_CL = E~).
+        a.transformed = extraction.conjugator.conjugate(obs);
+        a.sign = a.transformed.sign();
+
+        a.basisChange = QuantumCircuit(n);
+        for (uint32_t q = 0; q < n; ++q) {
+            switch (a.transformed.op(q)) {
+              case PauliOp::X:
+                a.basisChange.h(q);
+                a.measuredQubits.push_back(q);
+                break;
+              case PauliOp::Y:
+                a.basisChange.sdg(q);
+                a.basisChange.h(q);
+                a.measuredQubits.push_back(q);
+                break;
+              case PauliOp::Z:
+                a.measuredQubits.push_back(q);
+                break;
+              case PauliOp::I:
+                break;
+            }
+        }
+        absorbed.push_back(std::move(a));
+    }
+    return absorbed;
+}
+
+QuantumCircuit
+measurementCircuit(const ExtractionResult &extraction,
+                   const AbsorbedObservable &obs)
+{
+    QuantumCircuit qc = extraction.optimized;
+    qc.appendCircuit(obs.basisChange);
+    return qc;
+}
+
+ProbabilityAbsorption
+absorbProbabilities(const ExtractionResult &extraction)
+{
+    ProbabilityAbsorption pa;
+    pa.reduction = reduceToHCnot(extraction.extractedClifford);
+    assert(pa.reduction.valid &&
+           "Clifford tail lacks the H + CNOT-network structure (Prop. 1)");
+
+    pa.deviceCircuit = extraction.optimized;
+    for (uint32_t q = 0; q < pa.deviceCircuit.numQubits(); ++q)
+        if (pa.reduction.hLayer[q])
+            pa.deviceCircuit.h(q);
+    return pa;
+}
+
+} // namespace quclear

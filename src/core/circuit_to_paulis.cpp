@@ -1,0 +1,47 @@
+#include "core/circuit_to_paulis.hpp"
+
+#include <cassert>
+
+#include "tableau/clifford_tableau.hpp"
+
+namespace quclear {
+
+PauliProgram
+circuitToPauliProgram(const QuantumCircuit &qc)
+{
+    const uint32_t n = qc.numQubits();
+    PauliProgram program;
+    program.clifford = QuantumCircuit(n);
+
+    // T tracks C~ . P . C for the Clifford prefix C collected so far:
+    // maintained by prepending g~ for every Clifford gate g (see
+    // CliffordTableau::prependGate).
+    CliffordTableau inv(n);
+
+    for (const Gate &g : qc.gates()) {
+        if (isClifford(g.type)) {
+            program.clifford.append(g);
+            Gate ginv = g;
+            ginv.type = inverseType(g.type);
+            inv.prependGate(ginv);
+            continue;
+        }
+        // Rotation around axis A: Rz -> Z, Rx -> X, Ry -> Y; the term is
+        // e^{i (C~ A_q C) (-theta/2)}.
+        PauliOp axis = PauliOp::Z;
+        if (g.type == GateType::Rx)
+            axis = PauliOp::X;
+        else if (g.type == GateType::Ry)
+            axis = PauliOp::Y;
+        PauliString a(n);
+        a.setOp(g.q0, axis);
+        PauliString p = inv.conjugate(a);
+        const int sign = p.sign();
+        p.setPhase(0);
+        program.terms.emplace_back(std::move(p),
+                                   -0.5 * g.angle * sign);
+    }
+    return program;
+}
+
+} // namespace quclear

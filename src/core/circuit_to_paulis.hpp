@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Conversion of arbitrary Clifford+Rz/Rx/Ry circuits into quantum
+ * simulation programs.
+ *
+ * The paper observes (Sec. I) that any circuit can be written as a
+ * sequence of exponentiated Pauli strings: pushing every Clifford gate
+ * of a circuit to the end turns each rotation Rz(q, theta) into
+ * e^{i P t} with P the conjugated Z_q. This module performs that
+ * rewriting, which lets QuCLEAR optimize general gate-level circuits —
+ * the residual Clifford merges into the extracted tail and is absorbed
+ * like any other.
+ */
+#ifndef QUCLEAR_CORE_CIRCUIT_TO_PAULIS_HPP
+#define QUCLEAR_CORE_CIRCUIT_TO_PAULIS_HPP
+
+#include <vector>
+
+#include "circuit/quantum_circuit.hpp"
+#include "pauli/pauli_term.hpp"
+
+namespace quclear {
+
+/** A circuit rewritten as rotations followed by one Clifford. */
+struct PauliProgram
+{
+    /** Rotations in application order; U = clifford . prod e^{iP_k t_k}. */
+    std::vector<PauliTerm> terms;
+
+    /** The collected Clifford suffix (applied after all rotations). */
+    QuantumCircuit clifford;
+};
+
+/**
+ * Rewrite a Clifford+rotation circuit into a Pauli program. Supported
+ * rotations: Rz, Rx, Ry (Rx/Ry are handled by folding their basis
+ * changes into the conjugation). All other gates must be Clifford.
+ */
+PauliProgram circuitToPauliProgram(const QuantumCircuit &qc);
+
+} // namespace quclear
+
+#endif // QUCLEAR_CORE_CIRCUIT_TO_PAULIS_HPP

@@ -1,0 +1,139 @@
+#include "core/clifford_extractor.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "pauli/pauli_list.hpp"
+
+namespace quclear {
+
+CliffordExtractor::CliffordExtractor(ExtractionConfig config)
+    : config_(std::move(config))
+{
+}
+
+ExtractionResult
+CliffordExtractor::run(const std::vector<PauliTerm> &terms) const
+{
+    const uint32_t n = numQubitsOf(terms);
+
+    QuantumCircuit opt(n);
+    CliffordTableau acc(n);
+    std::vector<size_t> rotation_terms;
+    // Reduction Cliffords V_j in extraction order; the tail circuit is
+    // their inverses in reverse order.
+    std::vector<QuantumCircuit> vlist;
+
+    std::vector<std::vector<size_t>> blocks;
+    if (config_.useCommutingBlocks) {
+        blocks = commutingBlocks(terms);
+    } else {
+        blocks.reserve(terms.size());
+        for (size_t i = 0; i < terms.size(); ++i)
+            blocks.push_back({ i });
+    }
+
+    // Flattened order being committed; used to assemble lookahead lists
+    // that cross block boundaries.
+    for (size_t b = 0; b < blocks.size(); ++b) {
+        auto &block = blocks[b];
+        for (size_t pos = 0; pos < block.size(); ++pos) {
+            const size_t curr_idx = block[pos];
+            PauliString curr = acc.conjugate(terms[curr_idx].pauli);
+            if (curr.isIdentity())
+                continue; // global phase only
+
+            // --- find_next_pauli: choose the successor inside the block
+            // that ends up cheapest after extracting this block's
+            // (non-recursive) Clifford. ---
+            if (config_.useCommutingBlocks && pos + 2 < block.size()) {
+                size_t best_j = pos + 1;
+                uint32_t best_cost = ~0u;
+                for (size_t j = pos + 1; j < block.size(); ++j) {
+                    PauliString cand = acc.conjugate(terms[block[j]].pauli);
+                    uint32_t cost = nonRecursiveExtractionCost(curr, cand);
+                    if (cost < best_cost) {
+                        best_cost = cost;
+                        best_j = j;
+                    }
+                }
+                if (best_j != pos + 1) {
+                    const size_t chosen = block[best_j];
+                    block.erase(block.begin() +
+                                static_cast<std::ptrdiff_t>(best_j));
+                    block.insert(block.begin() +
+                                 static_cast<std::ptrdiff_t>(pos + 1), chosen);
+                }
+            }
+
+            // --- Single-qubit basis layer (fixed by the Pauli string). ---
+            QuantumCircuit vj(n);
+            const auto support = curr.support();
+            for (uint32_t q : support) {
+                switch (curr.op(q)) {
+                  case PauliOp::X:
+                    vj.h(q);
+                    break;
+                  case PauliOp::Y:
+                    vj.sdg(q);
+                    vj.h(q);
+                    break;
+                  default:
+                    break;
+                }
+            }
+            acc.appendCircuit(vj);
+            opt.appendCircuit(vj);
+
+            // --- Lookahead: upcoming Paulis in committed order. ---
+            std::vector<const PauliString *> lookahead;
+            for (size_t j = pos + 1;
+                 j < block.size() &&
+                 lookahead.size() < config_.tree.maxLookahead;
+                 ++j) {
+                lookahead.push_back(&terms[block[j]].pauli);
+            }
+            for (size_t bb = b + 1;
+                 bb < blocks.size() &&
+                 lookahead.size() < config_.tree.maxLookahead;
+                 ++bb) {
+                for (size_t idx : blocks[bb]) {
+                    if (lookahead.size() >= config_.tree.maxLookahead)
+                        break;
+                    lookahead.push_back(&terms[idx].pauli);
+                }
+            }
+
+            // --- CNOT tree (Algorithm 1). ---
+            QuantumCircuit tree(n);
+            TreeSynthesizer synth(acc, tree, std::move(lookahead),
+                                  config_.tree);
+            const uint32_t root = synth.synthesize(support);
+            opt.appendCircuit(tree);
+            vj.appendCircuit(tree);
+
+            // --- Rotation on the parity root. ---
+            // The reduced Pauli is +-Z_root; a negative sign flips the
+            // rotation angle: e^{i(-P)t} = e^{iP(-t)}.
+            PauliString reduced = acc.conjugate(terms[curr_idx].pauli);
+            assert(reduced.weight() == 1 && reduced.op(root) == PauliOp::Z);
+            const double t_eff = terms[curr_idx].angle * reduced.sign();
+            // e^{iZt} = Rz(-2t) with Rz(theta) = exp(-i theta Z / 2).
+            opt.rz(root, -2.0 * t_eff);
+            rotation_terms.push_back(curr_idx);
+
+            vlist.push_back(std::move(vj));
+        }
+    }
+
+    // --- Assemble the Clifford tail: U_CL = V_1~ ... V_m~, i.e. the
+    // inverses in reverse extraction order (time order: last V first). ---
+    QuantumCircuit tail(n);
+    for (size_t j = vlist.size(); j-- > 0;)
+        tail.appendCircuit(vlist[j].inverse());
+
+    return ExtractionResult{ std::move(opt), std::move(tail),
+                             std::move(acc), std::move(rotation_terms) };
+}
+
+} // namespace quclear

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Clifford Extraction (Algorithm 2 of the paper).
+ *
+ * Compiles a sequence of Pauli rotations e^{i P_1 t_1} ... e^{i P_m t_m}
+ * into an optimized circuit U' followed by a Clifford tail U_CL, with
+ * U = U_CL . U' as unitaries. Each rotation leaves only its basis layer,
+ * CNOT tree, and Rz in U'; the mirrored uncomputation half is commuted
+ * through all later rotations (transforming their Pauli strings) and
+ * accumulates at the end of the circuit.
+ */
+#ifndef QUCLEAR_CORE_CLIFFORD_EXTRACTOR_HPP
+#define QUCLEAR_CORE_CLIFFORD_EXTRACTOR_HPP
+
+#include <vector>
+
+#include "circuit/quantum_circuit.hpp"
+#include "core/tree_synthesis.hpp"
+#include "pauli/pauli_term.hpp"
+#include "tableau/clifford_tableau.hpp"
+
+namespace quclear {
+
+/** Options for Algorithm 2 (exposed for the Fig. 10 ablation). */
+struct ExtractionConfig
+{
+    TreeSynthesisConfig tree;
+
+    /**
+     * Reorder Paulis inside commuting blocks with find_next_pauli
+     * (Sec. V-C). When false, the input order is kept verbatim.
+     */
+    bool useCommutingBlocks = true;
+};
+
+/** Output of Clifford Extraction. */
+struct ExtractionResult
+{
+    /** The optimized circuit U' that still runs on the quantum device. */
+    QuantumCircuit optimized;
+
+    /**
+     * The extracted Clifford tail U_CL as a circuit (U = U_CL . U').
+     * Never executed on hardware; consumed by Clifford Absorption.
+     */
+    QuantumCircuit extractedClifford;
+
+    /**
+     * Tableau of E = V_m ... V_1, the composition of the per-block
+     * reduction Cliffords; satisfies U_CL = E~. Conjugating an observable
+     * O by this tableau yields the absorbed observable
+     * O' = U_CL~ O U_CL = E O E~.
+     */
+    CliffordTableau conjugator;
+
+    /**
+     * Input-term index of every emitted Rz, in circuit order (identity
+     * terms emit none). Lets parameterized front ends rebind rotation
+     * angles without recompiling (core/parameterized.hpp).
+     */
+    std::vector<size_t> rotationTerms;
+};
+
+/** Runs Clifford Extraction over a Pauli-term program. */
+class CliffordExtractor
+{
+  public:
+    explicit CliffordExtractor(ExtractionConfig config = {});
+
+    /**
+     * Compile the term sequence.
+     * @param terms rotations in circuit order; all on the same qubit count
+     */
+    ExtractionResult run(const std::vector<PauliTerm> &terms) const;
+
+  private:
+    ExtractionConfig config_;
+};
+
+} // namespace quclear
+
+#endif // QUCLEAR_CORE_CLIFFORD_EXTRACTOR_HPP

@@ -1,0 +1,92 @@
+#include "core/diagonalization.hpp"
+
+#include <cassert>
+
+namespace quclear {
+
+Diagonalization
+diagonalizeCommutingSet(const std::vector<PauliString> &paulis)
+{
+    Diagonalization result;
+    if (paulis.empty())
+        return result;
+    const uint32_t n = paulis.front().numQubits();
+#ifndef NDEBUG
+    for (size_t i = 0; i < paulis.size(); ++i)
+        for (size_t j = i + 1; j < paulis.size(); ++j)
+            assert(paulis[i].commutesWith(paulis[j]) &&
+                   "diagonalizeCommutingSet requires a commuting set");
+#endif
+
+    result.circuit = QuantumCircuit(n);
+    result.diagonal = paulis;
+    auto &work = result.diagonal;
+
+    auto apply = [&](const Gate &g) {
+        result.circuit.append(g);
+        QuantumCircuit one(n);
+        one.append(g);
+        for (PauliString &p : work)
+            one.conjugatePauli(p);
+    };
+
+    // Finish one qubit per round: pick a string with an x-component,
+    // reduce it to a single X on a pivot, then H turns it into a Z. The
+    // pivot qubit never regains x-components afterwards (all strings
+    // commute with the finished single-qubit Z image), so at most n
+    // rounds run.
+    for (uint32_t round = 0; round < n; ++round) {
+        size_t target = work.size();
+        for (size_t i = 0; i < work.size(); ++i) {
+            if (!work[i].isZOnly()) {
+                target = i;
+                break;
+            }
+        }
+        if (target == work.size())
+            break; // everything diagonal
+
+        // Pivot: lowest qubit with an x bit.
+        uint32_t pivot = n;
+        for (uint32_t q = 0; q < n; ++q) {
+            if (work[target].xBit(q)) {
+                pivot = q;
+                break;
+            }
+        }
+        assert(pivot < n);
+
+        if (work[target].op(pivot) == PauliOp::Y)
+            apply({ GateType::Sdg, pivot }); // Y -> X at the pivot
+
+        // Clear the other x bits with CX(pivot, j).
+        for (uint32_t j = 0; j < n; ++j) {
+            if (j == pivot || !work[target].xBit(j))
+                continue;
+            if (work[target].op(j) == PauliOp::Y)
+                apply({ GateType::Sdg, j });
+            apply({ GateType::CX, pivot, j });
+        }
+        // CX may have toggled the pivot's z bit; restore pure X.
+        if (work[target].op(pivot) == PauliOp::Y)
+            apply({ GateType::Sdg, pivot });
+
+        // Clear remaining z bits with CZ(pivot, j) (x-parts untouched).
+        for (uint32_t j = 0; j < n; ++j) {
+            if (j != pivot && work[target].zBit(j))
+                apply({ GateType::CZ, pivot, j });
+        }
+        assert(work[target].weight() == 1 &&
+               work[target].op(pivot) == PauliOp::X);
+
+        apply({ GateType::H, pivot }); // X -> Z: qubit finished
+    }
+
+#ifndef NDEBUG
+    for (const PauliString &p : work)
+        assert(p.isZOnly());
+#endif
+    return result;
+}
+
+} // namespace quclear

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Simultaneous diagonalization of mutually commuting Pauli sets.
+ *
+ * Any set of pairwise-commuting Pauli strings can be conjugated by one
+ * Clifford circuit into Z-I form (diagonal in the computational basis).
+ * This is the engine behind the measurement-reduction technique the
+ * paper cites in Sec. VI-A: a whole group of absorbed observables is
+ * measured with a single circuit — one basis-change Clifford followed
+ * by Z-basis readout — instead of one circuit per observable.
+ */
+#ifndef QUCLEAR_CORE_DIAGONALIZATION_HPP
+#define QUCLEAR_CORE_DIAGONALIZATION_HPP
+
+#include <vector>
+
+#include "circuit/quantum_circuit.hpp"
+#include "pauli/pauli_string.hpp"
+
+namespace quclear {
+
+/** Result of diagonalizing a commuting set. */
+struct Diagonalization
+{
+    /**
+     * Basis-change circuit C: conjugating each input P by C yields the
+     * corresponding Z-I string in diagonal[] (appended before Z-basis
+     * measurement on hardware).
+     */
+    QuantumCircuit circuit;
+
+    /**
+     * diagonal[i] = C . input[i] . C~ — guaranteed Z/I-only, with the
+     * sign carried in the phase.
+     */
+    std::vector<PauliString> diagonal;
+};
+
+/**
+ * Diagonalize a set of pairwise-commuting Pauli strings.
+ * @param paulis pairwise commuting (asserted in debug builds)
+ * @return the basis-change circuit and the diagonal images
+ */
+Diagonalization diagonalizeCommutingSet(
+    const std::vector<PauliString> &paulis);
+
+} // namespace quclear
+
+#endif // QUCLEAR_CORE_DIAGONALIZATION_HPP

@@ -1,0 +1,64 @@
+#include "core/measurement_grouping.hpp"
+
+namespace quclear {
+
+namespace {
+
+bool
+qubitWiseCommutes(const PauliString &a, const PauliString &b)
+{
+    for (uint32_t q = 0; q < a.numQubits(); ++q) {
+        const PauliOp oa = a.op(q);
+        const PauliOp ob = b.op(q);
+        if (oa != PauliOp::I && ob != PauliOp::I && oa != ob)
+            return false;
+    }
+    return true;
+}
+
+template <typename Compatible>
+std::vector<std::vector<size_t>>
+greedyGroups(const std::vector<PauliString> &observables,
+             Compatible &&compatible)
+{
+    std::vector<std::vector<size_t>> groups;
+    for (size_t i = 0; i < observables.size(); ++i) {
+        bool placed = false;
+        for (auto &group : groups) {
+            bool fits = true;
+            for (size_t j : group) {
+                if (!compatible(observables[i], observables[j])) {
+                    fits = false;
+                    break;
+                }
+            }
+            if (fits) {
+                group.push_back(i);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed)
+            groups.push_back({ i });
+    }
+    return groups;
+}
+
+} // namespace
+
+std::vector<std::vector<size_t>>
+groupCommutingObservables(const std::vector<PauliString> &observables)
+{
+    return greedyGroups(observables,
+                        [](const PauliString &a, const PauliString &b) {
+                            return a.commutesWith(b);
+                        });
+}
+
+std::vector<std::vector<size_t>>
+groupQubitWiseCommuting(const std::vector<PauliString> &observables)
+{
+    return greedyGroups(observables, qubitWiseCommutes);
+}
+
+} // namespace quclear

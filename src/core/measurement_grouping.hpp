@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Commutation-based measurement grouping (Sec. VI-A).
+ *
+ * The paper notes that because Clifford conjugation preserves
+ * (anti)commutation, the measurement-reduction techniques of the VQE
+ * literature keep working on absorbed observables. This module provides
+ * the standard greedy grouping: partition observables into sets of
+ * mutually commuting Paulis, each measurable with one circuit after a
+ * joint diagonalization.
+ */
+#ifndef QUCLEAR_CORE_MEASUREMENT_GROUPING_HPP
+#define QUCLEAR_CORE_MEASUREMENT_GROUPING_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "pauli/pauli_string.hpp"
+
+namespace quclear {
+
+/**
+ * Greedy partition into groups of mutually commuting observables
+ * (general commutation, first-fit order).
+ * @return groups of indices into @p observables
+ */
+std::vector<std::vector<size_t>>
+groupCommutingObservables(const std::vector<PauliString> &observables);
+
+/**
+ * Greedy partition under qubit-wise commutation (every shared qubit
+ * carries the same operator) — the stricter criterion that allows
+ * measuring a group with only single-qubit basis rotations.
+ */
+std::vector<std::vector<size_t>>
+groupQubitWiseCommuting(const std::vector<PauliString> &observables);
+
+} // namespace quclear
+
+#endif // QUCLEAR_CORE_MEASUREMENT_GROUPING_HPP

@@ -1,0 +1,75 @@
+#include "core/measurement_plan.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "core/measurement_grouping.hpp"
+
+namespace quclear {
+
+MeasurementPlan
+planMeasurements(const ExtractionResult &extraction,
+                 const std::vector<PauliString> &observables)
+{
+    MeasurementPlan plan;
+
+    // Absorb: O' = E O E~ (the conjugator implements exactly this map).
+    std::vector<PauliString> absorbed;
+    absorbed.reserve(observables.size());
+    for (const PauliString &obs : observables)
+        absorbed.push_back(extraction.conjugator.conjugate(obs));
+
+    // Group by general commutation (preserved by absorption).
+    const auto groups = groupCommutingObservables(absorbed);
+
+    for (const auto &indices : groups) {
+        MeasurementGroup group;
+        group.observableIndices = indices;
+        std::vector<PauliString> members;
+        members.reserve(indices.size());
+        for (size_t idx : indices)
+            members.push_back(absorbed[idx]);
+        Diagonalization diag = diagonalizeCommutingSet(members);
+        group.basisChange = std::move(diag.circuit);
+        group.diagonal = std::move(diag.diagonal);
+        plan.groups.push_back(std::move(group));
+    }
+    return plan;
+}
+
+QuantumCircuit
+groupCircuit(const ExtractionResult &extraction,
+             const MeasurementGroup &group)
+{
+    QuantumCircuit qc = extraction.optimized;
+    qc.appendCircuit(group.basisChange);
+    return qc;
+}
+
+double
+expectationFromGroupCounts(const MeasurementGroup &group, size_t slot,
+                           const std::map<uint64_t, uint64_t> &counts)
+{
+    assert(slot < group.diagonal.size());
+    const PauliString &diag = group.diagonal[slot];
+    assert(diag.isZOnly());
+
+    uint64_t mask = 0;
+    for (uint32_t q = 0; q < diag.numQubits(); ++q)
+        if (diag.zBit(q))
+            mask |= 1ULL << q;
+
+    uint64_t total = 0;
+    int64_t acc = 0;
+    for (const auto &[bits, count] : counts) {
+        const int parity = std::popcount(bits & mask) & 1;
+        acc += parity ? -static_cast<int64_t>(count)
+                      : static_cast<int64_t>(count);
+        total += count;
+    }
+    assert(total > 0);
+    return diag.sign() * static_cast<double>(acc) /
+           static_cast<double>(total);
+}
+
+} // namespace quclear

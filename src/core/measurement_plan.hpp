@@ -1,0 +1,78 @@
+/**
+ * @file
+ * End-to-end measurement planning: Clifford Absorption + commuting
+ * grouping + simultaneous diagonalization.
+ *
+ * The paper's CA-Pre measures each absorbed observable with its own
+ * circuit, and notes (Sec. VI-A) that commutation-based measurement
+ * reduction applies unchanged because absorption preserves commutation.
+ * This module implements that pipeline: observables are absorbed,
+ * greedily partitioned into commuting groups, and each group is
+ * diagonalized by one Clifford so a single device circuit serves every
+ * observable in the group.
+ */
+#ifndef QUCLEAR_CORE_MEASUREMENT_PLAN_HPP
+#define QUCLEAR_CORE_MEASUREMENT_PLAN_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/clifford_extractor.hpp"
+#include "core/diagonalization.hpp"
+#include "pauli/pauli_string.hpp"
+
+namespace quclear {
+
+/** One jointly measurable group of absorbed observables. */
+struct MeasurementGroup
+{
+    /** Indices into the original observable list. */
+    std::vector<size_t> observableIndices;
+
+    /** Basis-change Clifford appended before Z-basis measurement. */
+    QuantumCircuit basisChange;
+
+    /**
+     * diagonal[i] is the Z-I image of the absorbed observable
+     * observableIndices[i] under basisChange; its phase carries the
+     * accumulated sign (absorption sign x diagonalization sign).
+     */
+    std::vector<PauliString> diagonal;
+};
+
+/** A complete measurement plan for a set of observables. */
+struct MeasurementPlan
+{
+    std::vector<MeasurementGroup> groups;
+
+    /** Number of device circuits needed (one per group). */
+    size_t circuitCount() const { return groups.size(); }
+};
+
+/**
+ * Build the plan: absorb the extracted Clifford into the observables,
+ * group them greedily by general commutation, and diagonalize each
+ * group.
+ */
+MeasurementPlan planMeasurements(const ExtractionResult &extraction,
+                                 const std::vector<PauliString> &observables);
+
+/**
+ * Full device circuit for one group: the optimized circuit followed by
+ * the group's basis change.
+ */
+QuantumCircuit groupCircuit(const ExtractionResult &extraction,
+                            const MeasurementGroup &group);
+
+/**
+ * Expectation of the original observable in slot @p slot of the group,
+ * from Z-basis counts measured on groupCircuit().
+ */
+double expectationFromGroupCounts(
+    const MeasurementGroup &group, size_t slot,
+    const std::map<uint64_t, uint64_t> &counts);
+
+} // namespace quclear
+
+#endif // QUCLEAR_CORE_MEASUREMENT_PLAN_HPP

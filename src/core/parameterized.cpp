@@ -1,0 +1,71 @@
+#include "core/parameterized.hpp"
+
+#include <cassert>
+
+#include "transpile/commutative_cancellation.hpp"
+#include "transpile/cx_cancellation.hpp"
+#include "transpile/hadamard_rewrite.hpp"
+#include "transpile/pass_manager.hpp"
+
+namespace quclear {
+
+ParameterizedProgram::ParameterizedProgram(
+    std::vector<ParameterizedTerm> terms, uint32_t num_parameters,
+    const ExtractionConfig &config)
+    : numParameters_(num_parameters),
+      extraction_(QuantumCircuit(), QuantumCircuit(), CliffordTableau(0))
+{
+    // Compile with angle = coefficient (i.e. all parameters = 1); the
+    // emitted Rz angle is then -2 . sign . coefficient, and binding
+    // scales it by the parameter value.
+    std::vector<PauliTerm> plain;
+    plain.reserve(terms.size());
+    for (const auto &term : terms) {
+        assert(term.parameter < num_parameters);
+        plain.emplace_back(term.pauli, term.coefficient);
+    }
+
+    const CliffordExtractor extractor(config);
+    extraction_ = extractor.run(plain);
+
+    // Rz-preserving cleanup: everything except rotation fusion (which
+    // would merge rotations of different parameters).
+    PassManager pm;
+    pm.addPass(std::make_unique<CxCancellation>());
+    pm.addPass(std::make_unique<HadamardRewrite>());
+    pm.addPass(std::make_unique<CommutativeCancellation>());
+    pm.run(extraction_.optimized);
+
+    // Map each surviving Rz (order-preserved by the passes above) to
+    // its term's parameter.
+    rzParameter_.reserve(extraction_.rotationTerms.size());
+    for (size_t term_idx : extraction_.rotationTerms)
+        rzParameter_.push_back(terms[term_idx].parameter);
+
+#ifndef NDEBUG
+    size_t rz_count = 0;
+    for (const Gate &g : extraction_.optimized.gates())
+        if (g.type == GateType::Rz)
+            ++rz_count;
+    assert(rz_count == rzParameter_.size());
+#endif
+}
+
+QuantumCircuit
+ParameterizedProgram::bind(const std::vector<double> &values) const
+{
+    assert(values.size() == numParameters_);
+    QuantumCircuit qc = extraction_.optimized;
+    size_t rz_index = 0;
+    for (Gate &g : qc.mutableGates()) {
+        if (g.type != GateType::Rz)
+            continue;
+        assert(rz_index < rzParameter_.size());
+        g.angle *= values[rzParameter_[rz_index]];
+        ++rz_index;
+    }
+    assert(rz_index == rzParameter_.size());
+    return qc;
+}
+
+} // namespace quclear

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Parameterized compilation for variational loops.
+ *
+ * VQE and QAOA re-execute the same ansatz with different angles on
+ * every optimizer iteration. Clifford Extraction never merges or
+ * reorders rotations relative to each other — each non-identity term
+ * emits exactly one Rz whose angle is (term sign) x (-2) x (term
+ * angle) — so the circuit can be compiled *once* with unit parameters
+ * and rebound per iteration in O(#gates), skipping the whole compile
+ * pipeline. The absorbed observables are parameter independent, so the
+ * measurement plan is reused as well.
+ */
+#ifndef QUCLEAR_CORE_PARAMETERIZED_HPP
+#define QUCLEAR_CORE_PARAMETERIZED_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/clifford_extractor.hpp"
+#include "pauli/pauli_string.hpp"
+
+namespace quclear {
+
+/** One term of a parameterized program: angle = coefficient . theta_k. */
+struct ParameterizedTerm
+{
+    PauliString pauli;
+    uint32_t parameter = 0; //!< index into the bound value vector
+    double coefficient = 1.0;
+
+    ParameterizedTerm() = default;
+    ParameterizedTerm(PauliString p, uint32_t param, double coeff = 1.0)
+        : pauli(std::move(p)), parameter(param), coefficient(coeff)
+    {
+    }
+};
+
+/** An ansatz compiled once, bindable many times. */
+class ParameterizedProgram
+{
+  public:
+    /**
+     * Compile the parameterized terms (Clifford Extraction + the
+     * Rz-preserving subset of the local-rewrite pipeline).
+     * @param num_parameters size of the vectors bind() accepts
+     */
+    ParameterizedProgram(std::vector<ParameterizedTerm> terms,
+                         uint32_t num_parameters,
+                         const ExtractionConfig &config = {});
+
+    uint32_t numParameters() const { return numParameters_; }
+
+    /** Extraction output with unit parameters (template circuit). */
+    const ExtractionResult &extraction() const { return extraction_; }
+
+    /**
+     * Bind parameter values: returns the optimized circuit with every
+     * rotation angle scaled by its parameter's value. O(gates).
+     */
+    QuantumCircuit bind(const std::vector<double> &values) const;
+
+  private:
+    uint32_t numParameters_;
+    ExtractionResult extraction_;
+    /** Parameter index of each Rz in the template, in gate order. */
+    std::vector<uint32_t> rzParameter_;
+};
+
+} // namespace quclear
+
+#endif // QUCLEAR_CORE_PARAMETERIZED_HPP

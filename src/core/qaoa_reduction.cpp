@@ -1,0 +1,77 @@
+#include "core/qaoa_reduction.hpp"
+
+#include <cassert>
+
+#include "tableau/clifford_tableau.hpp"
+
+namespace quclear {
+
+ReducedClifford
+reduceToHCnot(const QuantumCircuit &tail)
+{
+    const uint32_t n = tail.numQubits();
+    assert(n <= 64);
+    ReducedClifford red;
+    red.hLayer.assign(n, false);
+
+    const CliffordTableau t = CliffordTableau::fromCircuit(tail);
+
+    // U_CL = C . H (H layer first). Then U_CL X_q U_CL~ equals
+    // C Z_q C~ (pure Z) when h_q = 1, or C X_q C~ (pure X) when h_q = 0.
+    LinearFunction lf;
+    lf.numQubits = n;
+    lf.columns.assign(n, 0);
+
+    for (uint32_t q = 0; q < n; ++q) {
+        const PauliString &ix = t.imageX(q);
+        const PauliString &iz = t.imageZ(q);
+        const PauliString *xlike = nullptr; // image that is pure X-type
+        if (ix.isXOnly() && iz.isZOnly()) {
+            red.hLayer[q] = false;
+            xlike = &ix;
+        } else if (ix.isZOnly() && iz.isXOnly()) {
+            red.hLayer[q] = true;
+            xlike = &iz; // U_CL Z_q U_CL~ = C X_q C~
+        } else {
+            return red; // valid stays false
+        }
+        // Column q of the network's linear map = X-support of C X_q C~.
+        uint64_t col = 0;
+        for (uint32_t j = 0; j < n; ++j)
+            if (xlike->xBit(j))
+                col |= 1ULL << j;
+        lf.columns[q] = col;
+    }
+
+    red.network = lf;
+    red.networkCircuit = synthesizeCnotNetwork(lf);
+
+    // Sign bookkeeping: build the sign-free reference U' = C . H and find
+    // the Pauli R with U_CL = R . U'. In the primed generator basis
+    // R = prod_q X'_q^{alpha_q} Z'_q^{beta_q} where beta_q flags a sign
+    // mismatch on the X_q image and alpha_q on the Z_q image.
+    QuantumCircuit ref(n);
+    for (uint32_t q = 0; q < n; ++q)
+        if (red.hLayer[q])
+            ref.h(q);
+    ref.appendCircuit(red.networkCircuit);
+    const CliffordTableau tref = CliffordTableau::fromCircuit(ref);
+
+    PauliString r(n);
+    for (uint32_t q = 0; q < n; ++q) {
+        assert(t.imageX(q).equalsUpToPhase(tref.imageX(q)));
+        assert(t.imageZ(q).equalsUpToPhase(tref.imageZ(q)));
+        if (t.imageZ(q).phase() != tref.imageZ(q).phase())
+            r.mulRight(tref.imageX(q)); // alpha_q = 1
+        if (t.imageX(q).phase() != tref.imageX(q).phase())
+            r.mulRight(tref.imageZ(q)); // beta_q = 1
+    }
+    for (uint32_t q = 0; q < n; ++q)
+        if (r.xBit(q))
+            red.xMask |= 1ULL << q;
+
+    red.valid = true;
+    return red;
+}
+
+} // namespace quclear

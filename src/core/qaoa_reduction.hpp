@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reduction of the extracted Clifford tail to a single layer of Hadamard
+ * gates followed by a CNOT network (Proposition 1 of the paper).
+ *
+ * For QAOA programs — Z-I problem Hamiltonians and X-I mixers — the
+ * Clifford subcircuit produced by extraction always has this structure.
+ * The H layer is the only part that must still run on the quantum device
+ * (appended by CA-Pre); the CNOT network and any residual Pauli-X
+ * corrections become classical XOR post-processing on measured
+ * bitstrings (CA-Post).
+ */
+#ifndef QUCLEAR_CORE_QAOA_REDUCTION_HPP
+#define QUCLEAR_CORE_QAOA_REDUCTION_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/quantum_circuit.hpp"
+#include "mapping/cnot_synthesis.hpp"
+
+namespace quclear {
+
+/** U_CL decomposed as (X corrections) . (CNOT network) . (H layer). */
+struct ReducedClifford
+{
+    /** False when the tail does not have the Prop. 1 structure. */
+    bool valid = false;
+
+    /** hLayer[q]: apply H to qubit q before the CNOT network. */
+    std::vector<bool> hLayer;
+
+    /** Linear map of the CNOT network (classical; never run on device). */
+    LinearFunction network;
+
+    /** CNOT-network circuit equivalent (for inspection/verification). */
+    QuantumCircuit networkCircuit;
+
+    /**
+     * Bit-flip corrections applied after the network: bit q set means the
+     * decomposition required an X on qubit q at the very end (from sign
+     * bookkeeping). Z corrections are dropped — they only contribute a
+     * phase before a computational-basis measurement.
+     */
+    uint64_t xMask = 0;
+};
+
+/**
+ * Attempt to reduce a Clifford circuit to H layer + CNOT network + Pauli
+ * corrections. Succeeds exactly when every conjugated generator stays
+ * pure-X-type or pure-Z-type, which Prop. 1 guarantees for QAOA tails.
+ *
+ * @param tail the extracted Clifford circuit U_CL (<= 64 qubits)
+ * @return decomposition with valid=false if the structure does not apply
+ */
+ReducedClifford reduceToHCnot(const QuantumCircuit &tail);
+
+} // namespace quclear
+
+#endif // QUCLEAR_CORE_QAOA_REDUCTION_HPP

@@ -1,0 +1,65 @@
+#include "core/quclear.hpp"
+
+#include "core/circuit_to_paulis.hpp"
+#include "transpile/depth_scheduling.hpp"
+#include "transpile/pass_manager.hpp"
+
+namespace quclear {
+
+QuClear::QuClear(QuClearOptions options) : options_(std::move(options)) {}
+
+CompiledProgram
+QuClear::compile(const std::vector<PauliTerm> &terms) const
+{
+    const CliffordExtractor extractor(options_.extraction);
+    ExtractionResult result = extractor.run(terms);
+    if (options_.applyLocalOptimization) {
+        const PassManager pm = PassManager::level3();
+        pm.run(result.optimized);
+    }
+    if (options_.optimizeDepth &&
+        result.optimized.size() <= options_.depthSchedulingGateLimit) {
+        const DepthScheduling scheduler;
+        scheduler.run(result.optimized);
+    }
+    return CompiledProgram{ std::move(result) };
+}
+
+CompiledProgram
+QuClear::compileCircuit(const QuantumCircuit &qc) const
+{
+    PauliProgram pauli_program = circuitToPauliProgram(qc);
+    if (pauli_program.terms.empty()) {
+        // Entirely Clifford: everything is absorbed.
+        ExtractionResult result{
+            QuantumCircuit(qc.numQubits()), pauli_program.clifford,
+            CliffordTableau::fromCircuit(pauli_program.clifford.inverse())
+        };
+        return CompiledProgram{ std::move(result) };
+    }
+    CompiledProgram program = compile(pauli_program.terms);
+    if (!pauli_program.clifford.empty()) {
+        // U = C_suffix . U_CL . U': fold the circuit's own Clifford
+        // suffix into the tail and refresh the conjugator (= tail~).
+        program.extraction.extractedClifford.appendCircuit(
+            pauli_program.clifford);
+        program.extraction.conjugator = CliffordTableau::fromCircuit(
+            program.extraction.extractedClifford.inverse());
+    }
+    return program;
+}
+
+std::vector<AbsorbedObservable>
+QuClear::absorbObservables(const CompiledProgram &program,
+                           const std::vector<PauliString> &observables) const
+{
+    return quclear::absorbObservables(program.extraction, observables);
+}
+
+ProbabilityAbsorption
+QuClear::absorbProbabilities(const CompiledProgram &program) const
+{
+    return quclear::absorbProbabilities(program.extraction);
+}
+
+} // namespace quclear

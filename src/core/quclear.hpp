@@ -1,0 +1,96 @@
+/**
+ * @file
+ * QuCLEAR framework facade (Sec. IV).
+ *
+ * Wires the three modules together: Clifford Extraction (CE) compiles a
+ * Pauli-term program into an optimized circuit plus a Clifford tail;
+ * Clifford Absorption pre-processing (CA-Pre) folds the tail into
+ * observables or reduces it for probability measurements; Clifford
+ * Absorption post-processing (CA-Post) maps device results back to the
+ * original program's semantics.
+ *
+ * Typical use:
+ * @code
+ *   QuClear compiler;
+ *   auto program = compiler.compile(terms);
+ *   auto absorbed = compiler.absorbObservables(program, observables);
+ *   // run measurementCircuit(program.extraction, absorbed[i]) on any
+ *   // backend, then expectationFromCounts(absorbed[i], counts).
+ * @endcode
+ */
+#ifndef QUCLEAR_CORE_QUCLEAR_HPP
+#define QUCLEAR_CORE_QUCLEAR_HPP
+
+#include <vector>
+
+#include "core/absorption_post.hpp"
+#include "core/absorption_pre.hpp"
+#include "core/clifford_extractor.hpp"
+#include "pauli/pauli_term.hpp"
+
+namespace quclear {
+
+/** Framework-wide options. */
+struct QuClearOptions
+{
+    ExtractionConfig extraction;
+
+    /** Run the local-rewrite pipeline (the "Qiskit O3" proxy) on U'. */
+    bool applyLocalOptimization = true;
+
+    /**
+     * Re-schedule the optimized circuit for entangling depth
+     * (commutation-aware list scheduling; never increases depth).
+     * Skipped automatically above depthSchedulingGateLimit gates.
+     */
+    bool optimizeDepth = true;
+
+    /** Gate-count cutoff for the depth scheduler (quadratic-ish cost). */
+    size_t depthSchedulingGateLimit = 20000;
+};
+
+/** A compiled quantum-simulation program. */
+struct CompiledProgram
+{
+    /** Extraction output: optimized circuit, Clifford tail, conjugator. */
+    ExtractionResult extraction;
+
+    /** The circuit to execute on the device (optimized U'). */
+    const QuantumCircuit &circuit() const { return extraction.optimized; }
+};
+
+/** The QuCLEAR compiler. */
+class QuClear
+{
+  public:
+    explicit QuClear(QuClearOptions options = {});
+
+    /** Clifford Extraction (+ optional local optimization) on a program. */
+    CompiledProgram compile(const std::vector<PauliTerm> &terms) const;
+
+    /**
+     * Compile an arbitrary Clifford+rotation circuit: the circuit is
+     * first rewritten as a Pauli program (Sec. I: any circuit is a
+     * quantum simulation), the rotations are extracted as usual, and the
+     * circuit's own Clifford suffix merges into the absorbed tail.
+     */
+    CompiledProgram compileCircuit(const QuantumCircuit &qc) const;
+
+    /** CA-Pre, observable mode. */
+    std::vector<AbsorbedObservable>
+    absorbObservables(const CompiledProgram &program,
+                      const std::vector<PauliString> &observables) const;
+
+    /** CA-Pre, probability mode (QAOA). */
+    ProbabilityAbsorption
+    absorbProbabilities(const CompiledProgram &program) const;
+
+    const QuClearOptions &options() const { return options_; }
+
+  private:
+    QuClearOptions options_;
+};
+
+} // namespace quclear
+
+#endif // QUCLEAR_CORE_QUCLEAR_HPP

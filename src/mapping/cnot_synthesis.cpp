@@ -1,0 +1,101 @@
+#include "mapping/cnot_synthesis.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace quclear {
+
+LinearFunction
+LinearFunction::identity(uint32_t n)
+{
+    assert(n <= 64);
+    LinearFunction lf;
+    lf.numQubits = n;
+    lf.columns.resize(n);
+    for (uint32_t q = 0; q < n; ++q)
+        lf.columns[q] = 1ULL << q;
+    return lf;
+}
+
+LinearFunction
+LinearFunction::ofCircuit(const QuantumCircuit &qc)
+{
+    LinearFunction lf = identity(qc.numQubits());
+    for (const Gate &g : qc.gates()) {
+        assert(g.type == GateType::CX &&
+               "LinearFunction::ofCircuit requires a CNOT-only circuit");
+        lf.appendCx(g.q0, g.q1);
+    }
+    return lf;
+}
+
+void
+LinearFunction::appendCx(uint32_t control, uint32_t target)
+{
+    // Heisenberg picture: X_control -> X_control X_target, so any image
+    // containing X_control gains X_target.
+    const uint64_t cm = 1ULL << control;
+    const uint64_t tm = 1ULL << target;
+    for (uint64_t &col : columns)
+        if (col & cm)
+            col ^= tm;
+}
+
+uint64_t
+LinearFunction::apply(uint64_t basis) const
+{
+    // Output bit j = parity of row j restricted to the input bits.
+    uint64_t out = 0;
+    for (uint32_t q = 0; q < numQubits; ++q)
+        if ((basis >> q) & 1)
+            out ^= columns[q];
+    // columns[q] is the image of basis vector e_q under the *Heisenberg*
+    // map on X operators, which equals the basis-state map: CX(c,t) sends
+    // e_c -> e_c + e_t both for X_c conjugation and for |..c..> XOR.
+    return out;
+}
+
+QuantumCircuit
+synthesizeCnotNetwork(const LinearFunction &lf)
+{
+    const uint32_t n = lf.numQubits;
+    LinearFunction work = lf;
+    std::vector<Gate> record;
+
+    auto emit = [&](uint32_t c, uint32_t t) {
+        work.appendCx(c, t);
+        record.emplace_back(GateType::CX, c, t);
+    };
+
+    // Gauss-Jordan over GF(2); appendCx(c, t) realizes row_t ^= row_c.
+    for (uint32_t q = 0; q < n; ++q) {
+        if (!((work.columns[q] >> q) & 1)) {
+            // The pivot must come from rows >= q: rows below q belong to
+            // already-reduced columns, and XORing one into row q would
+            // reintroduce bits there.
+            uint32_t j = n;
+            for (uint32_t r = q + 1; r < n; ++r) {
+                if ((work.columns[q] >> r) & 1) {
+                    j = r;
+                    break;
+                }
+            }
+            assert(j < n && "LinearFunction is singular");
+            emit(j, q);
+        }
+        for (uint32_t r = 0; r < n; ++r) {
+            if (r != q && ((work.columns[q] >> r) & 1))
+                emit(q, r);
+        }
+    }
+    assert(work == LinearFunction::identity(n));
+
+    // work = g_k ... g_1 . lf = I and CX is self-inverse, so the circuit
+    // for lf is g_k ... g_1 in reverse record order.
+    QuantumCircuit qc(n);
+    for (size_t i = record.size(); i-- > 0;)
+        qc.append(record[i]);
+    return qc;
+}
+
+} // namespace quclear

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * GF(2) linear-reversible (CNOT-only) circuit synthesis.
+ *
+ * A CNOT network implements an invertible linear map A over GF(2) on the
+ * computational basis. In the Heisenberg picture the network maps
+ * X_q -> prod_j X_j^{A[j][q]}. This module synthesizes a CNOT circuit for
+ * a given A by Gaussian elimination; it backs the QAOA Clifford reduction
+ * (Prop. 1) and is reusable for routing-aware resynthesis.
+ */
+#ifndef QUCLEAR_MAPPING_CNOT_SYNTHESIS_HPP
+#define QUCLEAR_MAPPING_CNOT_SYNTHESIS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/quantum_circuit.hpp"
+
+namespace quclear {
+
+/**
+ * Invertible binary matrix stored column-major as 64-bit masks:
+ * columns[q] bit j == A[j][q]. Supports up to 64 qubits.
+ */
+struct LinearFunction
+{
+    uint32_t numQubits = 0;
+    std::vector<uint64_t> columns;
+
+    /** Identity map on n qubits. */
+    static LinearFunction identity(uint32_t n);
+
+    /** The map of a CNOT-only circuit (asserts on other gate types). */
+    static LinearFunction ofCircuit(const QuantumCircuit &qc);
+
+    /** Compose with a CNOT appended after the existing map. */
+    void appendCx(uint32_t control, uint32_t target);
+
+    /** Apply the map to a basis state (bit q = qubit q). */
+    uint64_t apply(uint64_t basis) const;
+
+    bool operator==(const LinearFunction &other) const
+    {
+        return numQubits == other.numQubits && columns == other.columns;
+    }
+};
+
+/**
+ * Synthesize a CNOT circuit implementing @p lf (Gaussian elimination,
+ * O(n^2) gates). The result satisfies
+ * LinearFunction::ofCircuit(result) == lf.
+ */
+QuantumCircuit synthesizeCnotNetwork(const LinearFunction &lf);
+
+} // namespace quclear
+
+#endif // QUCLEAR_MAPPING_CNOT_SYNTHESIS_HPP

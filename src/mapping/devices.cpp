@@ -1,0 +1,88 @@
+#include "mapping/devices.hpp"
+
+namespace quclear {
+
+CouplingMap
+manhattanHeavyHex()
+{
+    // Heavy-hex lattice: alternating long rows of 10-12 qubits joined by
+    // bridge qubits, following the IBM Hummingbird (Manhattan) layout.
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    auto row = [&edges](uint32_t first, uint32_t last) {
+        for (uint32_t q = first; q < last; ++q)
+            edges.push_back({ q, q + 1 });
+    };
+    row(0, 9);    // q0..q9
+    edges.push_back({ 0, 10 });
+    edges.push_back({ 4, 11 });
+    edges.push_back({ 8, 12 });
+    edges.push_back({ 10, 13 });
+    edges.push_back({ 11, 17 });
+    edges.push_back({ 12, 21 });
+    row(13, 23);  // q13..q23
+    edges.push_back({ 15, 24 });
+    edges.push_back({ 19, 25 });
+    edges.push_back({ 23, 26 });
+    edges.push_back({ 24, 29 });
+    edges.push_back({ 25, 33 });
+    edges.push_back({ 26, 37 });
+    row(27, 37);  // q27..q37
+    edges.push_back({ 27, 38 });
+    edges.push_back({ 31, 39 });
+    edges.push_back({ 35, 40 });
+    edges.push_back({ 38, 41 });
+    edges.push_back({ 39, 45 });
+    edges.push_back({ 40, 49 });
+    row(41, 51);  // q41..q51
+    edges.push_back({ 43, 52 });
+    edges.push_back({ 47, 53 });
+    edges.push_back({ 51, 54 });
+    edges.push_back({ 52, 56 });
+    edges.push_back({ 53, 60 });
+    edges.push_back({ 54, 64 });
+    row(55, 64);  // q55..q64
+    return CouplingMap(65, std::move(edges));
+}
+
+CouplingMap
+gridDevice(uint32_t rows, uint32_t cols)
+{
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    auto idx = [cols](uint32_t r, uint32_t c) { return r * cols + c; };
+    for (uint32_t r = 0; r < rows; ++r) {
+        for (uint32_t c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                edges.push_back({ idx(r, c), idx(r, c + 1) });
+            if (r + 1 < rows)
+                edges.push_back({ idx(r, c), idx(r + 1, c) });
+        }
+    }
+    return CouplingMap(rows * cols, std::move(edges));
+}
+
+CouplingMap
+sycamoreGrid()
+{
+    return gridDevice(8, 8);
+}
+
+CouplingMap
+lineDevice(uint32_t n)
+{
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    for (uint32_t q = 0; q + 1 < n; ++q)
+        edges.push_back({ q, q + 1 });
+    return CouplingMap(n, std::move(edges));
+}
+
+CouplingMap
+fullyConnected(uint32_t n)
+{
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    for (uint32_t p = 0; p < n; ++p)
+        for (uint32_t q = p + 1; q < n; ++q)
+            edges.push_back({ p, q });
+    return CouplingMap(n, std::move(edges));
+}
+
+} // namespace quclear

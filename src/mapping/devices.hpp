@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The two limited-connectivity backends of Fig. 11: a 65-qubit heavy-hex
+ * lattice in the style of IBM Manhattan and a 64-qubit 2-D grid in the
+ * style of Google Sycamore.
+ */
+#ifndef QUCLEAR_MAPPING_DEVICES_HPP
+#define QUCLEAR_MAPPING_DEVICES_HPP
+
+#include "mapping/coupling_map.hpp"
+
+namespace quclear {
+
+/** 65-qubit heavy-hex lattice (IBM Manhattan style, 72 edges). */
+CouplingMap manhattanHeavyHex();
+
+/** 64-qubit 8x8 2-D grid (Google Sycamore style). */
+CouplingMap sycamoreGrid();
+
+/** Generic rows x cols 2-D grid. */
+CouplingMap gridDevice(uint32_t rows, uint32_t cols);
+
+/** Simple 1-D line of n qubits (worst-case connectivity for tests). */
+CouplingMap lineDevice(uint32_t n);
+
+/** Fully connected device on n qubits (routing becomes a no-op). */
+CouplingMap fullyConnected(uint32_t n);
+
+} // namespace quclear
+
+#endif // QUCLEAR_MAPPING_DEVICES_HPP

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * SABRE-style SWAP router for limited-connectivity devices (Fig. 11).
+ *
+ * Keeps a front layer of dependency-free gates; executable gates are
+ * emitted eagerly, and when the front is blocked the router inserts the
+ * SWAP that minimizes a distance heuristic over the front layer plus a
+ * lookahead window, with per-qubit decay to avoid oscillation. A
+ * shortest-path fallback guarantees termination.
+ */
+#ifndef QUCLEAR_MAPPING_SABRE_ROUTER_HPP
+#define QUCLEAR_MAPPING_SABRE_ROUTER_HPP
+
+#include <vector>
+
+#include "circuit/quantum_circuit.hpp"
+#include "mapping/coupling_map.hpp"
+
+namespace quclear {
+
+/** Routing output: the physical circuit and bookkeeping. */
+struct RoutingResult
+{
+    /** Circuit over physical qubits; every 2q gate is on an edge. */
+    QuantumCircuit routed;
+
+    /** Number of SWAP gates inserted (each costs 3 CNOTs). */
+    size_t swapCount = 0;
+
+    /** Final logical -> physical map after routing. */
+    std::vector<uint32_t> finalLayout;
+};
+
+/** Router options. */
+struct RouterConfig
+{
+    /** Lookahead window size for the extended-set heuristic. */
+    size_t extendedSetSize = 20;
+
+    /** Weight of the extended set relative to the front layer. */
+    double extendedSetWeight = 0.5;
+};
+
+/**
+ * Route a logical circuit onto a device.
+ * @param initial_layout layout[logical] = physical (size = numQubits of qc)
+ */
+RoutingResult sabreRoute(const QuantumCircuit &qc,
+                         const CouplingMap &device,
+                         const std::vector<uint32_t> &initial_layout,
+                         const RouterConfig &config = {});
+
+/** Convenience: greedy layout + routing, returning the physical circuit. */
+RoutingResult mapToDevice(const QuantumCircuit &qc,
+                          const CouplingMap &device);
+
+} // namespace quclear
+
+#endif // QUCLEAR_MAPPING_SABRE_ROUTER_HPP

@@ -1,0 +1,51 @@
+#include "pauli/pauli_list.hpp"
+
+#include <cassert>
+
+namespace quclear {
+
+std::vector<std::vector<size_t>>
+commutingBlocks(const std::vector<PauliTerm> &terms)
+{
+    std::vector<std::vector<size_t>> blocks;
+    for (size_t i = 0; i < terms.size(); ++i) {
+        bool fits = !blocks.empty();
+        if (fits) {
+            for (size_t j : blocks.back()) {
+                if (!terms[i].pauli.commutesWith(terms[j].pauli)) {
+                    fits = false;
+                    break;
+                }
+            }
+        }
+        if (fits)
+            blocks.back().push_back(i);
+        else
+            blocks.push_back({ i });
+    }
+    return blocks;
+}
+
+size_t
+totalWeight(const std::vector<PauliTerm> &terms)
+{
+    size_t w = 0;
+    for (const auto &t : terms)
+        w += t.pauli.weight();
+    return w;
+}
+
+uint32_t
+numQubitsOf(const std::vector<PauliTerm> &terms)
+{
+    if (terms.empty())
+        return 0;
+    uint32_t n = terms.front().pauli.numQubits();
+    for (const auto &t : terms) {
+        assert(t.pauli.numQubits() == n);
+        (void)t;
+    }
+    return n;
+}
+
+} // namespace quclear

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Helpers over sequences of Pauli terms: commuting-block partitioning
+ * (Sec. V-C, convert_commute_sets) and simple statistics.
+ */
+#ifndef QUCLEAR_PAULI_PAULI_LIST_HPP
+#define QUCLEAR_PAULI_PAULI_LIST_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "pauli/pauli_term.hpp"
+
+namespace quclear {
+
+/**
+ * Partition a term sequence into maximal runs of mutually commuting terms.
+ *
+ * Matches the paper's convert_commute_sets: scan left to right; a term
+ * joins the current block iff it commutes with every term already in the
+ * block, otherwise it starts a new block. Block order is preserved (only
+ * terms *within* a block may later be reordered by the extractor).
+ *
+ * @param terms the term sequence in circuit order
+ * @return list of blocks, each a list of indices into @p terms
+ */
+std::vector<std::vector<size_t>>
+commutingBlocks(const std::vector<PauliTerm> &terms);
+
+/** Total weight (non-identity count) across all terms. */
+size_t totalWeight(const std::vector<PauliTerm> &terms);
+
+/** Qubit count of a term list (0 if empty). All terms must agree. */
+uint32_t numQubitsOf(const std::vector<PauliTerm> &terms);
+
+} // namespace quclear
+
+#endif // QUCLEAR_PAULI_PAULI_LIST_HPP

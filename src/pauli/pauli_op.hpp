@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Single-qubit Pauli operator codes and their product phase table.
+ *
+ * Encoding: each qubit position of a PauliString stores an (x, z) bit pair.
+ * The operator code is x + 2z, giving I=0, X=1, Z=2, Y=3. Y is treated as
+ * an atomic operator (not i.XZ), and multiplication phases are tracked
+ * explicitly via pauliProductPhase().
+ */
+#ifndef QUCLEAR_PAULI_PAULI_OP_HPP
+#define QUCLEAR_PAULI_PAULI_OP_HPP
+
+#include <cstdint>
+
+namespace quclear {
+
+/** Single-qubit Pauli operator. Numeric values encode the (x, z) bits. */
+enum class PauliOp : uint8_t
+{
+    I = 0, //!< identity        (x=0, z=0)
+    X = 1, //!< Pauli X         (x=1, z=0)
+    Z = 2, //!< Pauli Z         (x=0, z=1)
+    Y = 3, //!< Pauli Y, atomic (x=1, z=1)
+};
+
+/** Character for an operator: 'I', 'X', 'Z', or 'Y'. */
+constexpr char
+pauliOpChar(PauliOp op)
+{
+    constexpr char chars[4] = { 'I', 'X', 'Z', 'Y' };
+    return chars[static_cast<uint8_t>(op)];
+}
+
+/**
+ * Parse one Pauli character.
+ * @retval the operator; 'I','X','Y','Z' accepted (case sensitive).
+ * Returns I for any other character; callers validate input separately.
+ */
+constexpr PauliOp
+pauliOpFromChar(char c)
+{
+    switch (c) {
+      case 'X': return PauliOp::X;
+      case 'Y': return PauliOp::Y;
+      case 'Z': return PauliOp::Z;
+      default:  return PauliOp::I;
+    }
+}
+
+/** True iff the character denotes a valid Pauli operator. */
+constexpr bool
+isPauliChar(char c)
+{
+    return c == 'I' || c == 'X' || c == 'Y' || c == 'Z';
+}
+
+/**
+ * Exponent of i (mod 4) produced when multiplying a.b of two single-qubit
+ * Paulis, with Y atomic: XY = iZ, YZ = iX, ZX = iY and the reversed orders
+ * give -i. Identity or equal operators contribute 0.
+ *
+ * @param a left operator code (x + 2z)
+ * @param b right operator code
+ * @return 0, 1, or 3 (i.e. -1 mod 4)
+ */
+constexpr uint8_t
+pauliProductPhase(uint8_t a, uint8_t b)
+{
+    // Rows: a = I, X, Z, Y; columns: b = I, X, Z, Y.
+    // Value is the exponent of i in a.b.
+    constexpr uint8_t table[4][4] = {
+        //        I  X  Z  Y
+        /* I */ { 0, 0, 0, 0 },
+        /* X */ { 0, 0, 3, 1 }, // XZ = -iY, XY = iZ
+        /* Z */ { 0, 1, 0, 3 }, // ZX = iY,  ZY = -iX
+        /* Y */ { 0, 3, 1, 0 }, // YX = -iZ, YZ = iX
+    };
+    return table[a][b];
+}
+
+} // namespace quclear
+
+#endif // QUCLEAR_PAULI_PAULI_OP_HPP

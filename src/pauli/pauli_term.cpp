@@ -1,0 +1,15 @@
+#include "pauli/pauli_term.hpp"
+
+namespace quclear {
+
+std::vector<PauliTerm>
+termsFromLabels(const std::vector<std::string> &labels, double angle)
+{
+    std::vector<PauliTerm> terms;
+    terms.reserve(labels.size());
+    for (const auto &label : labels)
+        terms.emplace_back(PauliString::fromLabel(label), angle);
+    return terms;
+}
+
+} // namespace quclear

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * A Pauli rotation term: the building block e^{i P t} of quantum
+ * simulation circuits (Sec. II-A of the paper).
+ */
+#ifndef QUCLEAR_PAULI_PAULI_TERM_HPP
+#define QUCLEAR_PAULI_PAULI_TERM_HPP
+
+#include <string>
+#include <vector>
+
+#include "pauli/pauli_string.hpp"
+
+namespace quclear {
+
+/**
+ * One exponentiated Pauli string e^{i P t}. The angle t is carried
+ * symbolically through compilation; extraction may flip its sign when the
+ * conjugated Pauli picks up a -1 (Sec. III: e^{i(-P)t} = e^{iP(-t)}).
+ */
+struct PauliTerm
+{
+    PauliString pauli;
+    double angle = 0.0;
+
+    PauliTerm() = default;
+    PauliTerm(PauliString p, double t) : pauli(std::move(p)), angle(t) {}
+
+    /** Construct from a label such as "ZZI" and an angle. */
+    static PauliTerm
+    fromLabel(const std::string &label, double t)
+    {
+        return PauliTerm(PauliString::fromLabel(label), t);
+    }
+
+    bool
+    operator==(const PauliTerm &other) const
+    {
+        return pauli == other.pauli && angle == other.angle;
+    }
+};
+
+/** Convenience: build a term list from labels with a shared angle. */
+std::vector<PauliTerm> termsFromLabels(const std::vector<std::string> &labels,
+                                       double angle = 0.1);
+
+} // namespace quclear
+
+#endif // QUCLEAR_PAULI_PAULI_TERM_HPP

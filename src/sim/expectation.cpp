@@ -1,0 +1,58 @@
+#include "sim/expectation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "pauli/pauli_list.hpp"
+
+namespace quclear {
+
+Statevector
+referenceState(const std::vector<PauliTerm> &terms)
+{
+    const uint32_t n = numQubitsOf(terms);
+    Statevector sv(n);
+    for (const auto &term : terms)
+        sv.applyPauliExponential(term.pauli, term.angle);
+    return sv;
+}
+
+Statevector
+runCircuit(const QuantumCircuit &qc)
+{
+    Statevector sv(qc.numQubits());
+    sv.applyCircuit(qc);
+    return sv;
+}
+
+std::vector<double>
+observableExpectations(const QuantumCircuit &qc,
+                       const std::vector<PauliString> &observables)
+{
+    Statevector sv = runCircuit(qc);
+    std::vector<double> values;
+    values.reserve(observables.size());
+    for (const auto &obs : observables)
+        values.push_back(sv.expectation(obs));
+    return values;
+}
+
+std::vector<double>
+outputProbabilities(const QuantumCircuit &qc)
+{
+    return runCircuit(qc).probabilities();
+}
+
+double
+distributionDistance(const std::vector<double> &a,
+                     const std::vector<double> &b)
+{
+    assert(a.size() == b.size());
+    double d = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        d = std::max(d, std::abs(a[i] - b[i]));
+    return d;
+}
+
+} // namespace quclear

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Convenience helpers for evaluating circuits: Pauli-observable
+ * expectation values and probability distributions, plus the reference
+ * (unoptimized) semantics of a Pauli-term sequence. Tests compare every
+ * compiler's output against these references.
+ */
+#ifndef QUCLEAR_SIM_EXPECTATION_HPP
+#define QUCLEAR_SIM_EXPECTATION_HPP
+
+#include <vector>
+
+#include "circuit/quantum_circuit.hpp"
+#include "pauli/pauli_term.hpp"
+#include "sim/statevector.hpp"
+
+namespace quclear {
+
+/**
+ * Reference semantics of a quantum-simulation program: apply
+ * e^{i P_1 t_1}, ..., e^{i P_m t_m} in order to |0...0> using dense
+ * matrix exponentials (no circuit synthesis involved).
+ */
+Statevector referenceState(const std::vector<PauliTerm> &terms);
+
+/** State after running a circuit on |0...0>. */
+Statevector runCircuit(const QuantumCircuit &qc);
+
+/** <O_i> for each observable in the state produced by @p qc. */
+std::vector<double> observableExpectations(
+    const QuantumCircuit &qc, const std::vector<PauliString> &observables);
+
+/** Probability distribution of the state produced by @p qc. */
+std::vector<double> outputProbabilities(const QuantumCircuit &qc);
+
+/** Max absolute difference between two distributions. */
+double distributionDistance(const std::vector<double> &a,
+                            const std::vector<double> &b);
+
+} // namespace quclear
+
+#endif // QUCLEAR_SIM_EXPECTATION_HPP

@@ -1,0 +1,22 @@
+#include "sim/noise_model.hpp"
+
+#include <cmath>
+
+namespace quclear {
+
+double
+NoiseModel::estimatedSuccessProbability(const QuantumCircuit &qc) const
+{
+    return std::exp(-logInfidelity(qc));
+}
+
+double
+NoiseModel::logInfidelity(const QuantumCircuit &qc) const
+{
+    const double one_q = -std::log1p(-singleQubitError);
+    const double two_q = -std::log1p(-twoQubitError);
+    return static_cast<double>(qc.singleQubitCount()) * one_q +
+           static_cast<double>(qc.twoQubitCount(true)) * two_q;
+}
+
+} // namespace quclear

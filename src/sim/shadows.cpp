@@ -1,0 +1,99 @@
+#include "sim/shadows.hpp"
+
+#include <cassert>
+
+#include "sim/statevector.hpp"
+
+namespace quclear {
+
+void
+ShadowEstimator::addSnapshot(ShadowSnapshot snapshot)
+{
+    assert(snapshot.bases.size() == numQubits_);
+    snapshots_.push_back(std::move(snapshot));
+}
+
+void
+ShadowEstimator::collect(const QuantumCircuit &circuit, size_t shots,
+                         Rng &rng)
+{
+    assert(circuit.numQubits() == numQubits_);
+    Statevector base(numQubits_);
+    base.applyCircuit(circuit);
+
+    for (size_t shot = 0; shot < shots; ++shot) {
+        ShadowSnapshot snap;
+        snap.bases.resize(numQubits_);
+        Statevector sv = base;
+        for (uint32_t q = 0; q < numQubits_; ++q) {
+            switch (rng.uniformInt(3)) {
+              case 0:
+                snap.bases[q] = PauliOp::X;
+                sv.applyGate({ GateType::H, q });
+                break;
+              case 1:
+                snap.bases[q] = PauliOp::Y;
+                sv.applyGate({ GateType::Sdg, q });
+                sv.applyGate({ GateType::H, q });
+                break;
+              default:
+                snap.bases[q] = PauliOp::Z;
+                break;
+            }
+        }
+        // Sample one bitstring from the rotated state.
+        const auto probs = sv.probabilities();
+        double r = rng.uniformReal();
+        uint64_t outcome = probs.size() - 1;
+        for (uint64_t b = 0; b < probs.size(); ++b) {
+            r -= probs[b];
+            if (r <= 0) {
+                outcome = b;
+                break;
+            }
+        }
+        snap.outcomes = outcome;
+        snapshots_.push_back(std::move(snap));
+    }
+}
+
+double
+ShadowEstimator::estimate(const PauliString &observable) const
+{
+    assert(observable.numQubits() == numQubits_);
+    assert(observable.phase() == 0 || observable.phase() == 2);
+    if (observable.isIdentity())
+        return observable.sign();
+    if (snapshots_.empty())
+        return 0.0;
+
+    const auto support = observable.support();
+    double acc = 0.0;
+    for (const ShadowSnapshot &snap : snapshots_) {
+        double value = 1.0;
+        for (uint32_t q : support) {
+            if (snap.bases[q] != observable.op(q)) {
+                value = 0.0;
+                break;
+            }
+            const int eigen = ((snap.outcomes >> q) & 1) ? -1 : 1;
+            value *= 3.0 * eigen;
+        }
+        acc += value;
+    }
+    return observable.sign() * acc /
+           static_cast<double>(snapshots_.size());
+}
+
+std::vector<double>
+ShadowEstimator::estimateAll(
+    const std::vector<PauliString> &observables) const
+{
+    std::vector<double> values;
+    values.reserve(observables.size());
+    for (const auto &obs : observables)
+        values.push_back(estimate(obs));
+    return values;
+}
+
+} // namespace quclear

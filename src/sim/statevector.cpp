@@ -1,0 +1,278 @@
+#include "sim/statevector.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace quclear {
+
+namespace {
+
+using Complex = Statevector::Complex;
+
+constexpr Complex kI(0.0, 1.0);
+
+/** i^k for k in {0,1,2,3}. */
+Complex
+iPower(uint8_t k)
+{
+    switch (k & 3) {
+      case 0: return { 1.0, 0.0 };
+      case 1: return { 0.0, 1.0 };
+      case 2: return { -1.0, 0.0 };
+      default: return { 0.0, -1.0 };
+    }
+}
+
+} // namespace
+
+Statevector::Statevector(uint32_t num_qubits)
+    : numQubits_(num_qubits), amps_(size_t{1} << num_qubits, Complex{})
+{
+    assert(num_qubits <= 28);
+    amps_[0] = 1.0;
+}
+
+void
+Statevector::setAmplitudes(std::vector<Complex> amps)
+{
+    assert(amps.size() == amps_.size());
+    amps_ = std::move(amps);
+}
+
+void
+Statevector::apply1q(uint32_t q, const Complex m[2][2])
+{
+    const uint64_t stride = 1ULL << q;
+    for (uint64_t base = 0; base < amps_.size(); base += 2 * stride) {
+        for (uint64_t off = 0; off < stride; ++off) {
+            const uint64_t i0 = base + off;
+            const uint64_t i1 = i0 + stride;
+            const Complex a0 = amps_[i0];
+            const Complex a1 = amps_[i1];
+            amps_[i0] = m[0][0] * a0 + m[0][1] * a1;
+            amps_[i1] = m[1][0] * a0 + m[1][1] * a1;
+        }
+    }
+}
+
+void
+Statevector::applyGate(const Gate &g)
+{
+    const double invsqrt2 = 1.0 / std::sqrt(2.0);
+    switch (g.type) {
+      case GateType::H: {
+        const Complex m[2][2] = { { invsqrt2, invsqrt2 },
+                                  { invsqrt2, -invsqrt2 } };
+        apply1q(g.q0, m);
+        break;
+      }
+      case GateType::S: {
+        const Complex m[2][2] = { { 1.0, 0.0 }, { 0.0, kI } };
+        apply1q(g.q0, m);
+        break;
+      }
+      case GateType::Sdg: {
+        const Complex m[2][2] = { { 1.0, 0.0 }, { 0.0, -kI } };
+        apply1q(g.q0, m);
+        break;
+      }
+      case GateType::X: {
+        const Complex m[2][2] = { { 0.0, 1.0 }, { 1.0, 0.0 } };
+        apply1q(g.q0, m);
+        break;
+      }
+      case GateType::Y: {
+        const Complex m[2][2] = { { 0.0, -kI }, { kI, 0.0 } };
+        apply1q(g.q0, m);
+        break;
+      }
+      case GateType::Z: {
+        const Complex m[2][2] = { { 1.0, 0.0 }, { 0.0, -1.0 } };
+        apply1q(g.q0, m);
+        break;
+      }
+      case GateType::SX: {
+        const Complex a(0.5, 0.5), b(0.5, -0.5);
+        const Complex m[2][2] = { { a, b }, { b, a } };
+        apply1q(g.q0, m);
+        break;
+      }
+      case GateType::SXdg: {
+        const Complex a(0.5, -0.5), b(0.5, 0.5);
+        const Complex m[2][2] = { { a, b }, { b, a } };
+        apply1q(g.q0, m);
+        break;
+      }
+      case GateType::Rz: {
+        const Complex e0 = std::exp(-kI * (g.angle / 2));
+        const Complex e1 = std::exp(kI * (g.angle / 2));
+        const Complex m[2][2] = { { e0, 0.0 }, { 0.0, e1 } };
+        apply1q(g.q0, m);
+        break;
+      }
+      case GateType::Rx: {
+        const double c = std::cos(g.angle / 2), s = std::sin(g.angle / 2);
+        const Complex m[2][2] = { { c, -kI * s }, { -kI * s, c } };
+        apply1q(g.q0, m);
+        break;
+      }
+      case GateType::Ry: {
+        const double c = std::cos(g.angle / 2), s = std::sin(g.angle / 2);
+        const Complex m[2][2] = { { c, -s }, { s, c } };
+        apply1q(g.q0, m);
+        break;
+      }
+      case GateType::CX: {
+        const uint64_t cm = 1ULL << g.q0;
+        const uint64_t tm = 1ULL << g.q1;
+        for (uint64_t i = 0; i < amps_.size(); ++i) {
+            if ((i & cm) && !(i & tm))
+                std::swap(amps_[i], amps_[i | tm]);
+        }
+        break;
+      }
+      case GateType::CZ: {
+        const uint64_t m = (1ULL << g.q0) | (1ULL << g.q1);
+        for (uint64_t i = 0; i < amps_.size(); ++i)
+            if ((i & m) == m)
+                amps_[i] = -amps_[i];
+        break;
+      }
+      case GateType::Swap: {
+        const uint64_t am = 1ULL << g.q0;
+        const uint64_t bm = 1ULL << g.q1;
+        for (uint64_t i = 0; i < amps_.size(); ++i) {
+            if ((i & am) && !(i & bm))
+                std::swap(amps_[i], amps_[(i & ~am) | bm]);
+        }
+        break;
+      }
+    }
+}
+
+void
+Statevector::applyCircuit(const QuantumCircuit &qc)
+{
+    assert(qc.numQubits() == numQubits_);
+    for (const Gate &g : qc.gates())
+        applyGate(g);
+}
+
+void
+Statevector::applyPauli(const PauliString &p)
+{
+    assert(p.numQubits() == numQubits_);
+    uint64_t xmask = 0, zmask = 0;
+    uint32_t y_count = 0;
+    for (uint32_t q = 0; q < numQubits_; ++q) {
+        if (p.xBit(q))
+            xmask |= 1ULL << q;
+        if (p.zBit(q))
+            zmask |= 1ULL << q;
+        if (p.xBit(q) && p.zBit(q))
+            ++y_count;
+    }
+    const Complex global = iPower(static_cast<uint8_t>(p.phase() + y_count));
+
+    std::vector<Complex> out(amps_.size());
+    for (uint64_t b = 0; b < amps_.size(); ++b) {
+        const int zpar = std::popcount(b & zmask) & 1;
+        const Complex factor = global * (zpar ? -1.0 : 1.0);
+        out[b ^ xmask] = factor * amps_[b];
+    }
+    amps_ = std::move(out);
+}
+
+void
+Statevector::applyPauliExponential(const PauliString &p, double t)
+{
+    // e^{iPt} = cos(t) I + i sin(t) P for Hermitian P (phase 0 or 2).
+    assert(p.phase() == 0 || p.phase() == 2);
+    Statevector ppart = *this;
+    ppart.applyPauli(p);
+    const double c = std::cos(t), s = std::sin(t);
+    for (uint64_t b = 0; b < amps_.size(); ++b)
+        amps_[b] = c * amps_[b] + kI * s * ppart.amps_[b];
+}
+
+std::vector<double>
+Statevector::probabilities() const
+{
+    std::vector<double> probs(amps_.size());
+    for (size_t i = 0; i < amps_.size(); ++i)
+        probs[i] = std::norm(amps_[i]);
+    return probs;
+}
+
+double
+Statevector::expectation(const PauliString &observable) const
+{
+    Statevector phi = *this;
+    phi.applyPauli(observable);
+    const Complex val = innerProduct(phi);
+    assert(std::abs(val.imag()) < 1e-9);
+    return val.real();
+}
+
+Statevector::Complex
+Statevector::innerProduct(const Statevector &other) const
+{
+    assert(other.numQubits_ == numQubits_);
+    Complex acc{};
+    for (size_t i = 0; i < amps_.size(); ++i)
+        acc += std::conj(amps_[i]) * other.amps_[i];
+    return acc;
+}
+
+bool
+Statevector::equalsUpToGlobalPhase(const Statevector &other, double tol) const
+{
+    return std::abs(innerProduct(other)) > 1.0 - tol;
+}
+
+double
+Statevector::norm() const
+{
+    double acc = 0.0;
+    for (const Complex &a : amps_)
+        acc += std::norm(a);
+    return std::sqrt(acc);
+}
+
+bool
+circuitsEquivalent(const QuantumCircuit &a, const QuantumCircuit &b,
+                   double tol)
+{
+    assert(a.numQubits() == b.numQubits());
+    const uint32_t n = a.numQubits();
+    // Compare the images of every basis state, factoring out one common
+    // global phase taken from the first basis state.
+    Statevector::Complex ref{};
+    bool have_ref = false;
+    for (uint64_t basis = 0; basis < (1ULL << n); ++basis) {
+        Statevector va(n), vb(n);
+        // Prepare |basis> by X gates.
+        QuantumCircuit prep(n);
+        for (uint32_t q = 0; q < n; ++q)
+            if ((basis >> q) & 1)
+                prep.x(q);
+        va.applyCircuit(prep);
+        vb.applyCircuit(prep);
+        va.applyCircuit(a);
+        vb.applyCircuit(b);
+        const auto ip = va.innerProduct(vb);
+        if (std::abs(ip) < 1.0 - tol)
+            return false;
+        if (!have_ref) {
+            ref = ip;
+            have_ref = true;
+        } else if (std::abs(ip - ref) > tol) {
+            // Equal only up to a *basis-dependent* phase: not equivalent.
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace quclear

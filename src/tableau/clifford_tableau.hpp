@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Aaronson-Gottesman style unitary tableau for Clifford circuits.
+ *
+ * The tableau stores, for an accumulated Clifford unitary U, the images of
+ * the 2n Pauli generators under conjugation:
+ *
+ *     rowX[q] = U X_q U~        rowZ[q] = U Z_q U~
+ *
+ * with exact sign tracking. Appending a gate g replaces U by g.U, which
+ * updates every row by the single-gate Heisenberg rule — O(n) time per
+ * gate. Conjugating an arbitrary Pauli string is O(n . w) where w is the
+ * string's weight, matching the O(n^2) bound quoted in Sec. V-D.
+ *
+ * This is the classical data structure behind both Clifford Extraction
+ * (updating Pauli strings through already-extracted Cliffords) and
+ * Clifford Absorption (computing the new observables O' = U~ O U).
+ */
+#ifndef QUCLEAR_TABLEAU_CLIFFORD_TABLEAU_HPP
+#define QUCLEAR_TABLEAU_CLIFFORD_TABLEAU_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/quantum_circuit.hpp"
+#include "pauli/pauli_string.hpp"
+
+namespace quclear {
+
+/** Unitary Clifford tableau over n qubits with sign tracking. */
+class CliffordTableau
+{
+  public:
+    /** Identity tableau on n qubits. */
+    explicit CliffordTableau(uint32_t num_qubits);
+
+    /** Build the tableau of an entire Clifford circuit. */
+    static CliffordTableau fromCircuit(const QuantumCircuit &qc);
+
+    uint32_t numQubits() const { return numQubits_; }
+
+    /** Image of X_q under conjugation by the accumulated unitary. */
+    const PauliString &imageX(uint32_t q) const { return rowX_[q]; }
+
+    /** Image of Z_q under conjugation by the accumulated unitary. */
+    const PauliString &imageZ(uint32_t q) const { return rowZ_[q]; }
+
+    /** @name Append a gate: U <- g . U. @{ */
+    void appendH(uint32_t q);
+    void appendS(uint32_t q);
+    void appendSdg(uint32_t q);
+    void appendX(uint32_t q);
+    void appendY(uint32_t q);
+    void appendZ(uint32_t q);
+    void appendSqrtX(uint32_t q);
+    void appendSqrtXdg(uint32_t q);
+    void appendCX(uint32_t control, uint32_t target);
+    void appendCZ(uint32_t a, uint32_t b);
+    void appendSwap(uint32_t a, uint32_t b);
+    void appendGate(const Gate &g);
+    void appendCircuit(const QuantumCircuit &qc);
+    /** @} */
+
+    /**
+     * Prepend a gate: U <- U . g (g acts before the existing circuit).
+     * The new images are T'(P) = T(g P g~), evaluated on the generator
+     * Paulis — used to maintain *inverse* tableaux incrementally when a
+     * circuit is consumed front to back (see circuit_to_paulis).
+     */
+    void prependGate(const Gate &g);
+
+    /**
+     * Conjugate a Pauli string: returns U P U~ with exact phase.
+     * @param p a Pauli string on the same qubit count
+     */
+    PauliString conjugate(const PauliString &p) const;
+
+    /** True iff this tableau is the identity map (all signs +). */
+    bool isIdentity() const;
+
+    /**
+     * Compose with another tableau: U <- other.U, i.e. the returned map
+     * first applies this tableau's conjugation, then @p other's.
+     */
+    void composeWith(const CliffordTableau &other);
+
+    /** The inverse tableau (U~), via synthesis + inverted replay. */
+    CliffordTableau inverse() const;
+
+    /**
+     * Synthesize a Clifford circuit implementing this tableau (canonical
+     * H/S/CX decomposition by symplectic Gaussian elimination). The
+     * returned circuit C satisfies fromCircuit(C) == *this.
+     */
+    QuantumCircuit toCircuit() const;
+
+    bool operator==(const CliffordTableau &other) const;
+    bool operator!=(const CliffordTableau &other) const
+    {
+        return !(*this == other);
+    }
+
+  private:
+    uint32_t numQubits_;
+    std::vector<PauliString> rowX_;
+    std::vector<PauliString> rowZ_;
+};
+
+} // namespace quclear
+
+#endif // QUCLEAR_TABLEAU_CLIFFORD_TABLEAU_HPP

@@ -1,0 +1,37 @@
+#include "transpile/basis_conversion.hpp"
+
+#include <vector>
+
+namespace quclear {
+
+bool
+BasisConversion::run(QuantumCircuit &qc) const
+{
+    bool changed = false;
+    std::vector<Gate> out;
+    out.reserve(qc.size());
+    for (const Gate &g : qc.gates()) {
+        switch (g.type) {
+          case GateType::Swap:
+            out.emplace_back(GateType::CX, g.q0, g.q1);
+            out.emplace_back(GateType::CX, g.q1, g.q0);
+            out.emplace_back(GateType::CX, g.q0, g.q1);
+            changed = true;
+            break;
+          case GateType::CZ:
+            out.emplace_back(GateType::H, g.q1);
+            out.emplace_back(GateType::CX, g.q0, g.q1);
+            out.emplace_back(GateType::H, g.q1);
+            changed = true;
+            break;
+          default:
+            out.push_back(g);
+            break;
+        }
+    }
+    if (changed)
+        qc.mutableGates() = std::move(out);
+    return changed;
+}
+
+} // namespace quclear

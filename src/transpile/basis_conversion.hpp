@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Basis conversion to the {CX, 1q} gate set used by superconducting
+ * hardware: SWAP -> 3 CX, CZ -> H-CX-H. Applied before routing when a
+ * backend does not implement CZ/SWAP natively, and by the bench
+ * harnesses so CNOT counts are comparable across compilers.
+ */
+#ifndef QUCLEAR_TRANSPILE_BASIS_CONVERSION_HPP
+#define QUCLEAR_TRANSPILE_BASIS_CONVERSION_HPP
+
+#include "transpile/pass.hpp"
+
+namespace quclear {
+
+/** Rewrites SWAP and CZ into CX + single-qubit gates. */
+class BasisConversion : public Pass
+{
+  public:
+    std::string name() const override { return "basis-conversion"; }
+    bool run(QuantumCircuit &qc) const override;
+};
+
+} // namespace quclear
+
+#endif // QUCLEAR_TRANSPILE_BASIS_CONVERSION_HPP

@@ -1,0 +1,126 @@
+#include "transpile/commutative_cancellation.hpp"
+
+#include <vector>
+
+namespace quclear {
+
+namespace {
+
+bool
+touches(const Gate &g, uint32_t q)
+{
+    return g.q0 == q || (isTwoQubit(g.type) && g.q1 == q);
+}
+
+} // namespace
+
+bool
+isDiagonalGate(const Gate &g)
+{
+    switch (g.type) {
+      case GateType::Z:
+      case GateType::S:
+      case GateType::Sdg:
+      case GateType::Rz:
+      case GateType::CZ:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+gatesCommute(const Gate &a, const Gate &b)
+{
+    // Disjoint qubits always commute.
+    const bool share0 = touches(b, a.q0);
+    const bool share1 = isTwoQubit(a.type) && touches(b, a.q1);
+    if (!share0 && !share1)
+        return true;
+
+    // Diagonal gates commute with each other regardless of overlap.
+    if (isDiagonalGate(a) && isDiagonalGate(b))
+        return true;
+
+    auto is_x_axis = [](GateType t) {
+        return t == GateType::X || t == GateType::SX ||
+               t == GateType::SXdg || t == GateType::Rx;
+    };
+
+    // CX vs 1q on one of its qubits.
+    auto cx_vs_1q = [&](const Gate &cx, const Gate &g1) {
+        if (g1.q0 == cx.q0) // on control: diagonal gates commute
+            return isDiagonalGate(g1);
+        if (g1.q0 == cx.q1) // on target: X-axis gates commute
+            return is_x_axis(g1.type);
+        return true;
+    };
+
+    if (a.type == GateType::CX && !isTwoQubit(b.type))
+        return cx_vs_1q(a, b);
+    if (b.type == GateType::CX && !isTwoQubit(a.type))
+        return cx_vs_1q(b, a);
+
+    // CX vs CX: sharing only controls or only targets commutes.
+    if (a.type == GateType::CX && b.type == GateType::CX) {
+        const bool cross = a.q0 == b.q1 || a.q1 == b.q0;
+        return !cross;
+    }
+
+    // CZ vs CX: commute unless the CX target lies on the CZ.
+    if (a.type == GateType::CZ && b.type == GateType::CX)
+        return b.q1 != a.q0 && b.q1 != a.q1;
+    if (a.type == GateType::CX && b.type == GateType::CZ)
+        return a.q1 != b.q0 && a.q1 != b.q1;
+
+    // Conservative default: assume non-commuting.
+    return false;
+}
+
+bool
+CommutativeCancellation::run(QuantumCircuit &qc) const
+{
+    const auto &gates = qc.gates();
+    const size_t n_gates = gates.size();
+    std::vector<bool> removed(n_gates, false);
+    bool changed = false;
+
+    for (size_t i = 0; i < n_gates; ++i) {
+        if (removed[i])
+            continue;
+        const Gate &g = gates[i];
+        if (g.type != GateType::CX && g.type != GateType::CZ)
+            continue;
+
+        for (size_t j = i + 1; j < n_gates; ++j) {
+            if (removed[j])
+                continue;
+            const Gate &h = gates[j];
+            const bool same = h.type == g.type && h.q0 == g.q0 &&
+                              h.q1 == g.q1;
+            const bool symmetric = g.type == GateType::CZ &&
+                                   h.type == GateType::CZ &&
+                                   h.q0 == g.q1 && h.q1 == g.q0;
+            if (same || symmetric) {
+                removed[i] = true;
+                removed[j] = true;
+                changed = true;
+                break;
+            }
+            if (!gatesCommute(g, h))
+                break;
+        }
+    }
+
+    if (!changed)
+        return false;
+    std::vector<Gate> kept;
+    kept.reserve(n_gates);
+    for (size_t i = 0; i < n_gates; ++i)
+        if (!removed[i])
+            kept.push_back(gates[i]);
+    qc.mutableGates() = std::move(kept);
+    return true;
+}
+
+} // namespace quclear

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Commutation-aware two-qubit gate cancellation: a CX can cancel a later
+ * identical CX when every intervening gate on its qubits provably
+ * commutes with it (e.g. Rz on the control, X-axis gates on the target,
+ * CXs sharing a control or sharing a target).
+ */
+#ifndef QUCLEAR_TRANSPILE_COMMUTATIVE_CANCELLATION_HPP
+#define QUCLEAR_TRANSPILE_COMMUTATIVE_CANCELLATION_HPP
+
+#include "transpile/pass.hpp"
+
+namespace quclear {
+
+/** Cancels CX/CZ pairs separated by commuting gates. */
+class CommutativeCancellation : public Pass
+{
+  public:
+    std::string name() const override
+    {
+        return "commutative-cancellation";
+    }
+    bool run(QuantumCircuit &qc) const override;
+};
+
+} // namespace quclear
+
+#endif // QUCLEAR_TRANSPILE_COMMUTATIVE_CANCELLATION_HPP

@@ -1,0 +1,62 @@
+#include "transpile/cx_cancellation.hpp"
+
+#include <cstddef>
+
+#include <vector>
+
+namespace quclear {
+
+bool
+CxCancellation::run(QuantumCircuit &qc) const
+{
+    const auto &gates = qc.gates();
+    const size_t n_gates = gates.size();
+    std::vector<bool> removed(n_gates, false);
+    // last_touch[q]: index of the most recent surviving gate on qubit q.
+    std::vector<std::ptrdiff_t> last_touch(qc.numQubits(), -1);
+    bool changed = false;
+
+    for (size_t i = 0; i < n_gates; ++i) {
+        const Gate &g = gates[i];
+        if (isTwoQubit(g.type)) {
+            const std::ptrdiff_t j0 = last_touch[g.q0];
+            const std::ptrdiff_t j1 = last_touch[g.q1];
+            if (j0 >= 0 && j0 == j1 && !removed[static_cast<size_t>(j0)]) {
+                const Gate &prev = gates[static_cast<size_t>(j0)];
+                const bool same_pair =
+                    prev.type == g.type && prev.q0 == g.q0 &&
+                    prev.q1 == g.q1;
+                const bool symmetric_match =
+                    (g.type == GateType::CZ || g.type == GateType::Swap) &&
+                    prev.type == g.type && prev.q0 == g.q1 &&
+                    prev.q1 == g.q0;
+                if (same_pair || symmetric_match) {
+                    removed[static_cast<size_t>(j0)] = true;
+                    removed[i] = true;
+                    changed = true;
+                    // Both gone: restore last_touch to "unknown" so later
+                    // gates cannot pair across the hole incorrectly.
+                    last_touch[g.q0] = -1;
+                    last_touch[g.q1] = -1;
+                    continue;
+                }
+            }
+            last_touch[g.q0] = static_cast<std::ptrdiff_t>(i);
+            last_touch[g.q1] = static_cast<std::ptrdiff_t>(i);
+        } else {
+            last_touch[g.q0] = static_cast<std::ptrdiff_t>(i);
+        }
+    }
+
+    if (!changed)
+        return false;
+    std::vector<Gate> kept;
+    kept.reserve(n_gates);
+    for (size_t i = 0; i < n_gates; ++i)
+        if (!removed[i])
+            kept.push_back(gates[i]);
+    qc.mutableGates() = std::move(kept);
+    return true;
+}
+
+} // namespace quclear

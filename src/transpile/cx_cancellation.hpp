@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Adjacent two-qubit gate cancellation: CX.CX = I, CZ.CZ = I,
+ * SWAP.SWAP = I when no other gate touches either qubit in between.
+ */
+#ifndef QUCLEAR_TRANSPILE_CX_CANCELLATION_HPP
+#define QUCLEAR_TRANSPILE_CX_CANCELLATION_HPP
+
+#include "transpile/pass.hpp"
+
+namespace quclear {
+
+/** Cancels directly adjacent inverse two-qubit gate pairs. */
+class CxCancellation : public Pass
+{
+  public:
+    std::string name() const override { return "cx-cancellation"; }
+    bool run(QuantumCircuit &qc) const override;
+};
+
+} // namespace quclear
+
+#endif // QUCLEAR_TRANSPILE_CX_CANCELLATION_HPP

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Commutation-aware depth scheduling.
+ *
+ * Entangling depth (the Table III metric) depends on gate order even
+ * among commuting gates: a gate placed early can serialize an otherwise
+ * parallel chain. This pass rebuilds the circuit by critical-path list
+ * scheduling over the commutation DAG — gates are emitted level by
+ * level, longest-path-first — which never changes the unitary (only
+ * provably commuting gates are reordered) and never increases depth.
+ */
+#ifndef QUCLEAR_TRANSPILE_DEPTH_SCHEDULING_HPP
+#define QUCLEAR_TRANSPILE_DEPTH_SCHEDULING_HPP
+
+#include "transpile/pass.hpp"
+
+namespace quclear {
+
+/** Critical-path list scheduler over the commutation DAG. */
+class DepthScheduling : public Pass
+{
+  public:
+    std::string name() const override { return "depth-scheduling"; }
+    bool run(QuantumCircuit &qc) const override;
+};
+
+} // namespace quclear
+
+#endif // QUCLEAR_TRANSPILE_DEPTH_SCHEDULING_HPP

@@ -1,0 +1,86 @@
+#include "transpile/hadamard_rewrite.hpp"
+
+#include <vector>
+
+namespace quclear {
+
+bool
+HadamardRewrite::run(QuantumCircuit &qc) const
+{
+    const auto &gates = qc.gates();
+    const size_t n_gates = gates.size();
+    const size_t none = n_gates;
+
+    // prev[i]/next[i] per gate qubit slot (0 -> q0, 1 -> q1): index of the
+    // adjacent gate acting on the same qubit.
+    std::vector<size_t> prev0(n_gates, none), prev1(n_gates, none);
+    std::vector<size_t> next0(n_gates, none), next1(n_gates, none);
+    {
+        std::vector<size_t> last(qc.numQubits(), none);
+        for (size_t i = 0; i < n_gates; ++i) {
+            const Gate &g = gates[i];
+            prev0[i] = last[g.q0];
+            last[g.q0] = i;
+            if (isTwoQubit(g.type)) {
+                prev1[i] = last[g.q1];
+                last[g.q1] = i;
+            }
+        }
+        std::vector<size_t> first(qc.numQubits(), none);
+        for (size_t i = n_gates; i-- > 0;) {
+            const Gate &g = gates[i];
+            next0[i] = first[g.q0];
+            first[g.q0] = i;
+            if (isTwoQubit(g.type)) {
+                next1[i] = first[g.q1];
+                first[g.q1] = i;
+            }
+        }
+    }
+
+    std::vector<bool> removed(n_gates, false);
+    std::vector<Gate> rewritten(gates.begin(), gates.end());
+    bool changed = false;
+
+    auto is_free_h = [&](size_t idx, uint32_t qubit) {
+        return idx != none && !removed[idx] &&
+               rewritten[idx].type == GateType::H &&
+               rewritten[idx].q0 == qubit;
+    };
+
+    for (size_t i = 0; i < n_gates; ++i) {
+        if (removed[i] || rewritten[i].type != GateType::CX)
+            continue;
+        const uint32_t c = rewritten[i].q0;
+        const uint32_t t = rewritten[i].q1;
+        const bool hc_before = is_free_h(prev0[i], c);
+        const bool ht_before = is_free_h(prev1[i], t);
+        const bool hc_after = is_free_h(next0[i], c);
+        const bool ht_after = is_free_h(next1[i], t);
+
+        if (hc_before && ht_before && hc_after && ht_after) {
+            // (H (x) H) CX (H (x) H) = reversed CX.
+            removed[prev0[i]] = removed[prev1[i]] = true;
+            removed[next0[i]] = removed[next1[i]] = true;
+            rewritten[i] = Gate(GateType::CX, t, c);
+            changed = true;
+        } else if (ht_before && ht_after) {
+            // H(t) CX H(t) = CZ.
+            removed[prev1[i]] = removed[next1[i]] = true;
+            rewritten[i] = Gate(GateType::CZ, c, t);
+            changed = true;
+        }
+    }
+
+    if (!changed)
+        return false;
+    std::vector<Gate> kept;
+    kept.reserve(n_gates);
+    for (size_t i = 0; i < n_gates; ++i)
+        if (!removed[i])
+            kept.push_back(rewritten[i]);
+    qc.mutableGates() = std::move(kept);
+    return true;
+}
+
+} // namespace quclear

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Hadamard-conjugation rewrites: H(c) H(t) . CX(c,t) . H(c) H(t) is
+ * rewritten to the reversed CX(t,c), and H(t) . CX(c,t) . H(t) to
+ * CZ(c,t). These remove the basis-change Hadamards QuCLEAR's extraction
+ * leaves around X-type Pauli positions.
+ */
+#ifndef QUCLEAR_TRANSPILE_HADAMARD_REWRITE_HPP
+#define QUCLEAR_TRANSPILE_HADAMARD_REWRITE_HPP
+
+#include "transpile/pass.hpp"
+
+namespace quclear {
+
+/** Applies H-CX-H pattern rewrites. */
+class HadamardRewrite : public Pass
+{
+  public:
+    std::string name() const override { return "hadamard-rewrite"; }
+    bool run(QuantumCircuit &qc) const override;
+};
+
+} // namespace quclear
+
+#endif // QUCLEAR_TRANSPILE_HADAMARD_REWRITE_HPP

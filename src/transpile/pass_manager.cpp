@@ -1,0 +1,51 @@
+#include "transpile/pass_manager.hpp"
+
+#include "transpile/commutative_cancellation.hpp"
+#include "transpile/cx_cancellation.hpp"
+#include "transpile/hadamard_rewrite.hpp"
+#include "transpile/single_qubit_fusion.hpp"
+
+namespace quclear {
+
+void
+PassManager::addPass(std::unique_ptr<Pass> pass)
+{
+    passes_.push_back(std::move(pass));
+}
+
+size_t
+PassManager::run(QuantumCircuit &qc, size_t max_iterations) const
+{
+    size_t effective_sweeps = 0;
+    for (size_t sweep = 0; sweep < max_iterations; ++sweep) {
+        bool changed = false;
+        for (const auto &pass : passes_)
+            changed |= pass->run(qc);
+        if (!changed)
+            break;
+        ++effective_sweeps;
+    }
+    return effective_sweeps;
+}
+
+PassManager
+PassManager::level3()
+{
+    PassManager pm;
+    pm.addPass(std::make_unique<SingleQubitFusion>());
+    pm.addPass(std::make_unique<CxCancellation>());
+    pm.addPass(std::make_unique<HadamardRewrite>());
+    pm.addPass(std::make_unique<CommutativeCancellation>());
+    return pm;
+}
+
+QuantumCircuit
+optimizeLevel3(const QuantumCircuit &qc)
+{
+    QuantumCircuit out = qc;
+    const PassManager pm = PassManager::level3();
+    pm.run(out);
+    return out;
+}
+
+} // namespace quclear

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Single-qubit gate fusion: cancels adjacent inverse pairs (H.H, S.Sdg,
+ * X.X, ...), merges runs of Rz rotations, fuses S.S -> Z and
+ * Sdg.Sdg -> Z, and folds S/Sdg/Z into neighbouring Rz angles.
+ */
+#ifndef QUCLEAR_TRANSPILE_SINGLE_QUBIT_FUSION_HPP
+#define QUCLEAR_TRANSPILE_SINGLE_QUBIT_FUSION_HPP
+
+#include "transpile/pass.hpp"
+
+namespace quclear {
+
+/** Fuses and cancels runs of single-qubit gates per qubit. */
+class SingleQubitFusion : public Pass
+{
+  public:
+    std::string name() const override { return "1q-fusion"; }
+    bool run(QuantumCircuit &qc) const override;
+};
+
+} // namespace quclear
+
+#endif // QUCLEAR_TRANSPILE_SINGLE_QUBIT_FUSION_HPP

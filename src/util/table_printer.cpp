@@ -1,0 +1,76 @@
+#include "util/table_printer.hpp"
+
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace quclear {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::toString() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            out << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+                << row[c];
+        }
+        out << '\n';
+    };
+
+    emit_row(headers_);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    out << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+    return out.str();
+}
+
+std::string
+TablePrinter::toCsv() const
+{
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out << ',';
+            out << row[c];
+        }
+        out << '\n';
+    };
+    emit_row(headers_);
+    for (const auto &row : rows_)
+        emit_row(row);
+    return out.str();
+}
+
+std::string
+TablePrinter::fmt(double value, int precision)
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << value;
+    return out.str();
+}
+
+} // namespace quclear

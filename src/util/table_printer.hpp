@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Plain-text table formatting for the bench harnesses. Each bench binary
+ * reproduces one table or figure from the paper and prints its rows with
+ * this printer so the output can be compared side by side with the
+ * published numbers.
+ */
+#ifndef QUCLEAR_UTIL_TABLE_PRINTER_HPP
+#define QUCLEAR_UTIL_TABLE_PRINTER_HPP
+
+#include <string>
+#include <vector>
+
+namespace quclear {
+
+/**
+ * Accumulates rows of string cells and prints them with aligned columns.
+ * Also supports CSV output for downstream plotting.
+ */
+class TablePrinter
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append one row; the number of cells must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns, header underline, and one row per line. */
+    std::string toString() const;
+
+    /** Render as comma-separated values (headers first). */
+    std::string toCsv() const;
+
+    /** Format a double with the given precision (helper for cells). */
+    static std::string fmt(double value, int precision = 4);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace quclear
+
+#endif // QUCLEAR_UTIL_TABLE_PRINTER_HPP

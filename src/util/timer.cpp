@@ -1,0 +1,17 @@
+#include "util/timer.hpp"
+
+namespace quclear {
+
+double
+Timer::seconds() const
+{
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+double
+Timer::milliseconds() const
+{
+    return seconds() * 1e3;
+}
+
+} // namespace quclear

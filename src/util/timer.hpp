@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Wall-clock timing helpers used by the bench harnesses to report compile
+ * times (Table III) and Clifford Absorption runtimes (Table IV).
+ */
+#ifndef QUCLEAR_UTIL_TIMER_HPP
+#define QUCLEAR_UTIL_TIMER_HPP
+
+#include <chrono>
+
+namespace quclear {
+
+/** Simple monotonic stopwatch. Starts running on construction. */
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed time in seconds since construction or last reset(). */
+    double seconds() const;
+
+    /** Elapsed time in milliseconds since construction or last reset(). */
+    double milliseconds() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace quclear
+
+#endif // QUCLEAR_UTIL_TIMER_HPP

@@ -1,0 +1,49 @@
+#include "verify/equivalence.hpp"
+
+#include <cassert>
+
+#include "sim/statevector.hpp"
+#include "tableau/clifford_tableau.hpp"
+
+namespace quclear {
+
+std::string
+verdictName(EquivalenceVerdict verdict)
+{
+    switch (verdict) {
+      case EquivalenceVerdict::Equivalent:
+        return "equivalent";
+      case EquivalenceVerdict::NotEquivalent:
+        return "not equivalent";
+      case EquivalenceVerdict::Inconclusive:
+        return "inconclusive";
+    }
+    return "?";
+}
+
+EquivalenceVerdict
+checkEquivalence(const QuantumCircuit &a, const QuantumCircuit &b,
+                 const EquivalenceOptions &options)
+{
+    if (a.numQubits() != b.numQubits())
+        return EquivalenceVerdict::NotEquivalent;
+
+    if (a.isClifford() && b.isClifford()) {
+        // Tableau equality is exact at any width; equal tableaux mean
+        // equal unitaries up to global phase.
+        return CliffordTableau::fromCircuit(a) ==
+                       CliffordTableau::fromCircuit(b)
+                   ? EquivalenceVerdict::Equivalent
+                   : EquivalenceVerdict::NotEquivalent;
+    }
+
+    if (a.numQubits() <= options.maxDenseQubits) {
+        return circuitsEquivalent(a, b, options.tolerance)
+                   ? EquivalenceVerdict::Equivalent
+                   : EquivalenceVerdict::NotEquivalent;
+    }
+
+    return EquivalenceVerdict::Inconclusive;
+}
+
+} // namespace quclear

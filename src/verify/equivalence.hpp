@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Circuit equivalence checking, packaged for downstream users and the
+ * CLI: exact tableau comparison for Clifford circuits at any width,
+ * exact dense-unitary comparison for general circuits up to a size cap,
+ * and an honest "inconclusive" verdict beyond it.
+ */
+#ifndef QUCLEAR_VERIFY_EQUIVALENCE_HPP
+#define QUCLEAR_VERIFY_EQUIVALENCE_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "circuit/quantum_circuit.hpp"
+
+namespace quclear {
+
+/** Outcome of an equivalence check. */
+enum class EquivalenceVerdict
+{
+    Equivalent,    //!< proved equal up to global phase
+    NotEquivalent, //!< proved different
+    Inconclusive,  //!< too large for the available exact methods
+};
+
+/** Options for checkEquivalence. */
+struct EquivalenceOptions
+{
+    /** Dense comparison cap (2^n amplitudes per basis state). */
+    uint32_t maxDenseQubits = 12;
+
+    /** Numerical tolerance for the dense comparison. */
+    double tolerance = 1e-9;
+};
+
+/** Human-readable verdict name. */
+std::string verdictName(EquivalenceVerdict verdict);
+
+/**
+ * Decide whether two circuits implement the same unitary up to global
+ * phase. Clifford-only pairs are compared exactly by tableau at any
+ * width; general pairs by dense simulation when small enough.
+ */
+EquivalenceVerdict checkEquivalence(const QuantumCircuit &a,
+                                    const QuantumCircuit &b,
+                                    const EquivalenceOptions &options = {});
+
+} // namespace quclear
+
+#endif // QUCLEAR_VERIFY_EQUIVALENCE_HPP

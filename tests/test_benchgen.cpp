@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the benchmark generators: graph validity, Table II structure
+ * (term counts, native gate counts where they are exactly determined),
+ * determinism across calls, and the benchmark registry.
+ */
+#include <gtest/gtest.h>
+
+#include "baselines/naive_synthesis.hpp"
+#include "benchgen/graphs.hpp"
+#include "benchgen/labs.hpp"
+#include "benchgen/maxcut.hpp"
+#include "benchgen/molecules.hpp"
+#include "benchgen/spin_chains.hpp"
+#include "benchgen/suite.hpp"
+#include "core/quclear.hpp"
+#include "sim/expectation.hpp"
+#include "benchgen/uccsd.hpp"
+
+namespace quclear {
+namespace {
+
+TEST(GraphGenTest, RegularGraphsHaveExactDegrees)
+{
+    for (auto &&[n, d] : { std::pair{ 15u, 4u }, std::pair{ 20u, 4u },
+                           std::pair{ 20u, 8u }, std::pair{ 20u, 12u } }) {
+        const Graph g = randomRegularGraph(n, d, 1234);
+        EXPECT_TRUE(g.isSimple());
+        EXPECT_EQ(g.edges.size(), size_t{ n } * d / 2);
+        for (uint32_t deg : g.degrees())
+            EXPECT_EQ(deg, d);
+    }
+}
+
+TEST(GraphGenTest, RandomGraphExactEdgeCount)
+{
+    const Graph g = randomGraph(15, 63, 77);
+    EXPECT_TRUE(g.isSimple());
+    EXPECT_EQ(g.edges.size(), 63u);
+}
+
+TEST(GraphGenTest, Deterministic)
+{
+    const Graph a = randomRegularGraph(20, 8, 5);
+    const Graph b = randomRegularGraph(20, 8, 5);
+    EXPECT_EQ(a.edges, b.edges);
+    const Graph c = randomRegularGraph(20, 8, 6);
+    EXPECT_NE(a.edges, c.edges);
+}
+
+TEST(MaxcutGenTest, TermStructure)
+{
+    const Graph g = randomRegularGraph(15, 4, 9);
+    const auto terms = maxcutQaoa(g);
+    // |E| ZZ terms + n X terms (Table II: 45 Paulis for n15 r4).
+    ASSERT_EQ(terms.size(), g.edges.size() + 15);
+    for (size_t i = 0; i < g.edges.size(); ++i) {
+        EXPECT_TRUE(terms[i].pauli.isZOnly());
+        EXPECT_EQ(terms[i].pauli.weight(), 2u);
+    }
+    for (size_t i = g.edges.size(); i < terms.size(); ++i) {
+        EXPECT_TRUE(terms[i].pauli.isXOnly());
+        EXPECT_EQ(terms[i].pauli.weight(), 1u);
+    }
+}
+
+TEST(MaxcutGenTest, NativeCountsMatchTable2)
+{
+    // MaxCut-(n15, r4): 45 Paulis, 60 CNOTs, 75 single-qubit gates.
+    const auto b = makeBenchmark("MaxCut-(n15,r4)");
+    EXPECT_EQ(b.terms.size(), 45u);
+    const QuantumCircuit qc = naiveSynthesis(b.terms);
+    EXPECT_EQ(qc.twoQubitCount(), 60u);
+    EXPECT_EQ(qc.singleQubitCount(), 75u);
+}
+
+TEST(LabsGenTest, TermCountsMatchTable2)
+{
+    // Table II: LABS-(n10) 80 Paulis, (n15) 267, (n20) 635 (incl. mixer).
+    EXPECT_EQ(labsQaoa(10).size(), 80u);
+    EXPECT_EQ(labsQaoa(15).size(), 267u);
+    EXPECT_EQ(labsQaoa(20).size(), 635u);
+}
+
+TEST(LabsGenTest, NativeCnotCountMatchesTable2)
+{
+    // Table II: LABS-(n10) 340 CNOTs, 100 single-qubit gates.
+    const auto terms = labsQaoa(10);
+    const QuantumCircuit qc = naiveSynthesis(terms);
+    EXPECT_EQ(qc.twoQubitCount(), 340u);
+    EXPECT_EQ(qc.singleQubitCount(), 100u);
+}
+
+TEST(LabsGenTest, HamiltonianIsZOnlyWithPositiveCoefficients)
+{
+    for (const auto &term : labsHamiltonian(12)) {
+        EXPECT_GE(term.qubits.size(), 2u);
+        EXPECT_LE(term.qubits.size(), 4u);
+        EXPECT_GT(term.coefficient, 0.0);
+        for (size_t i = 1; i < term.qubits.size(); ++i)
+            EXPECT_LT(term.qubits[i - 1], term.qubits[i]);
+    }
+}
+
+TEST(UccsdGenTest, TermCountFormula)
+{
+    // UCC-(4,8): 320 Pauli strings (matches Table II exactly).
+    EXPECT_EQ(uccsdTermCount(4, 8), 320u);
+    EXPECT_EQ(uccsdAnsatz(4, 8).size(), 320u);
+    // Others follow the spinless formula (documented deviation).
+    EXPECT_EQ(uccsdTermCount(2, 4), 16u);
+    EXPECT_EQ(uccsdAnsatz(2, 6).size(), uccsdTermCount(2, 6));
+}
+
+TEST(UccsdGenTest, StringStructure)
+{
+    const auto terms = uccsdAnsatz(2, 4);
+    for (const auto &term : terms) {
+        // Singles have 2 X/Y positions, doubles 4; Z strings fill gaps.
+        uint32_t xy = 0;
+        for (uint32_t q = 0; q < 4; ++q) {
+            const PauliOp op = term.pauli.op(q);
+            if (op == PauliOp::X || op == PauliOp::Y)
+                ++xy;
+        }
+        EXPECT_TRUE(xy == 2 || xy == 4) << term.pauli.toLabel();
+    }
+}
+
+TEST(MoleculeGenTest, TermCountsPinnedToTable2)
+{
+    EXPECT_EQ(lihHamiltonianSim().size(), 61u);
+    EXPECT_EQ(h2oHamiltonianSim().size(), 184u);
+    EXPECT_EQ(benzeneHamiltonianSim().size(), 1254u);
+}
+
+TEST(MoleculeGenTest, QubitCounts)
+{
+    EXPECT_EQ(lihHamiltonianSim()[0].pauli.numQubits(), 6u);
+    EXPECT_EQ(h2oHamiltonianSim()[0].pauli.numQubits(), 8u);
+    EXPECT_EQ(benzeneHamiltonianSim()[0].pauli.numQubits(), 12u);
+}
+
+TEST(SuiteTest, AllBenchmarksConstruct)
+{
+    for (const auto &name : allBenchmarkNames()) {
+        if (name == "UCC-(8,16)" || name == "UCC-(10,20)")
+            continue; // skip heavyweight generation in unit tests
+        const Benchmark b = makeBenchmark(name);
+        EXPECT_FALSE(b.terms.empty()) << name;
+        EXPECT_GT(b.numQubits, 0u) << name;
+    }
+}
+
+TEST(SuiteTest, UnknownNameThrows)
+{
+    EXPECT_THROW(makeBenchmark("UCC-(1,1)"), std::invalid_argument);
+}
+
+TEST(SuiteTest, QaoaFlag)
+{
+    EXPECT_TRUE(makeBenchmark("MaxCut-(n10,e12)").isQaoa());
+    EXPECT_TRUE(makeBenchmark("LABS-(n10)").isQaoa());
+    EXPECT_FALSE(makeBenchmark("LiH").isQaoa());
+}
+
+TEST(SuiteTest, DeterministicAcrossCalls)
+{
+    const auto a = makeBenchmark("MaxCut-(n20,r8)");
+    const auto b = makeBenchmark("MaxCut-(n20,r8)");
+    ASSERT_EQ(a.terms.size(), b.terms.size());
+    for (size_t i = 0; i < a.terms.size(); ++i)
+        EXPECT_EQ(a.terms[i], b.terms[i]);
+}
+
+
+TEST(SpinChainTest, TfimTermStructure)
+{
+    const auto terms = tfimTrotter(6, 2, 0.1);
+    // Per step: 5 bonds + 6 fields.
+    ASSERT_EQ(terms.size(), 2u * (5 + 6));
+    for (size_t i = 0; i < 5; ++i) {
+        EXPECT_TRUE(terms[i].pauli.isZOnly());
+        EXPECT_EQ(terms[i].pauli.weight(), 2u);
+    }
+    for (size_t i = 5; i < 11; ++i) {
+        EXPECT_TRUE(terms[i].pauli.isXOnly());
+        EXPECT_EQ(terms[i].pauli.weight(), 1u);
+    }
+}
+
+TEST(SpinChainTest, PeriodicAddsOneBond)
+{
+    EXPECT_EQ(tfimTrotter(6, 1, 0.1, 1.0, 1.0, true).size(),
+              tfimTrotter(6, 1, 0.1, 1.0, 1.0, false).size() + 1);
+}
+
+TEST(SpinChainTest, HeisenbergThreeTermsPerBond)
+{
+    const auto terms = heisenbergTrotter(5, 3, 0.05);
+    EXPECT_EQ(terms.size(), 3u * 4 * 3);
+    for (const auto &t : terms)
+        EXPECT_EQ(t.pauli.weight(), 2u);
+}
+
+TEST(SpinChainTest, TrotterEvolutionCompilesExactly)
+{
+    // End-to-end: QuCLEAR-compiled TFIM evolution equals the reference.
+    const auto terms = tfimTrotter(5, 2, 0.2);
+    const QuClear compiler;
+    const auto program = compiler.compile(terms);
+    Statevector sv(5);
+    sv.applyCircuit(program.circuit());
+    sv.applyCircuit(program.extraction.extractedClifford);
+    EXPECT_TRUE(referenceState(terms).equalsUpToGlobalPhase(sv));
+}
+
+} // namespace
+} // namespace quclear

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the circuit IR: construction, inversion, stats (CNOT count
+ * and entangling depth — the Table III metrics), and QASM export.
+ */
+#include <gtest/gtest.h>
+
+#include "circuit/circuit_stats.hpp"
+#include "circuit/qasm.hpp"
+#include "circuit/quantum_circuit.hpp"
+#include "sim/statevector.hpp"
+
+namespace quclear {
+namespace {
+
+TEST(CircuitTest, AppendAndQuery)
+{
+    QuantumCircuit qc(3);
+    qc.h(0);
+    qc.cx(0, 1);
+    qc.rz(1, 0.5);
+    EXPECT_EQ(qc.size(), 3u);
+    EXPECT_EQ(qc.numQubits(), 3u);
+    EXPECT_EQ(qc.gate(1).type, GateType::CX);
+    EXPECT_EQ(qc.twoQubitCount(), 1u);
+    EXPECT_EQ(qc.singleQubitCount(), 2u);
+    EXPECT_FALSE(qc.isClifford());
+}
+
+TEST(CircuitTest, InverseReversesAndInverts)
+{
+    QuantumCircuit qc(2);
+    qc.h(0);
+    qc.s(1);
+    qc.cx(0, 1);
+    qc.rz(1, 0.7);
+
+    QuantumCircuit inv = qc.inverse();
+    ASSERT_EQ(inv.size(), 4u);
+    EXPECT_EQ(inv.gate(0).type, GateType::Rz);
+    EXPECT_EQ(inv.gate(0).angle, -0.7);
+    EXPECT_EQ(inv.gate(1).type, GateType::CX);
+    EXPECT_EQ(inv.gate(2).type, GateType::Sdg);
+    EXPECT_EQ(inv.gate(3).type, GateType::H);
+
+    // qc followed by its inverse is the identity.
+    QuantumCircuit both = qc;
+    both.appendCircuit(inv);
+    Statevector sv(2);
+    sv.applyGate({ GateType::H, 0 });
+    sv.applyGate({ GateType::CX, 0u, 1u }); // entangled input
+    Statevector expect = sv;
+    sv.applyCircuit(both);
+    EXPECT_TRUE(sv.equalsUpToGlobalPhase(expect));
+}
+
+TEST(CircuitTest, SwapCountsAsThreeCnots)
+{
+    QuantumCircuit qc(2);
+    qc.swap(0, 1);
+    qc.cx(0, 1);
+    EXPECT_EQ(qc.twoQubitCount(false), 2u);
+    EXPECT_EQ(qc.twoQubitCount(true), 4u);
+}
+
+TEST(CircuitStatsTest, EntanglingDepthIgnoresSingleQubitGates)
+{
+    QuantumCircuit qc(3);
+    qc.cx(0, 1);
+    qc.h(0);
+    qc.h(1);
+    qc.h(2);
+    qc.cx(1, 2); // depends on the first CX through qubit 1
+    qc.cx(0, 1); // depends on both
+    EXPECT_EQ(entanglingDepth(qc), 3u);
+    EXPECT_GT(totalDepth(qc), 3u);
+}
+
+TEST(CircuitStatsTest, ParallelCnotsShareALevel)
+{
+    QuantumCircuit qc(4);
+    qc.cx(0, 1);
+    qc.cx(2, 3); // disjoint: same level
+    qc.cx(1, 2); // joins both
+    EXPECT_EQ(entanglingDepth(qc), 2u);
+}
+
+TEST(CircuitStatsTest, EmptyCircuit)
+{
+    QuantumCircuit qc(4);
+    const auto stats = computeStats(qc);
+    EXPECT_EQ(stats.cxCount, 0u);
+    EXPECT_EQ(stats.entanglingDepth, 0u);
+    EXPECT_EQ(stats.totalDepth, 0u);
+}
+
+TEST(QasmTest, ExportContainsHeaderAndGates)
+{
+    QuantumCircuit qc(2);
+    qc.h(0);
+    qc.rz(1, 0.25);
+    qc.cx(0, 1);
+    const std::string qasm = toQasm(qc);
+    EXPECT_NE(qasm.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(qasm.find("qreg q[2];"), std::string::npos);
+    EXPECT_NE(qasm.find("h q[0];"), std::string::npos);
+    EXPECT_NE(qasm.find("rz(0.25) q[1];"), std::string::npos);
+    EXPECT_NE(qasm.find("cx q[0],q[1];"), std::string::npos);
+}
+
+TEST(CircuitTest, ConjugatePauliMatchesTableau)
+{
+    QuantumCircuit qc(3);
+    qc.h(0);
+    qc.cx(0, 1);
+    qc.s(2);
+    qc.cz(1, 2);
+    PauliString p = PauliString::fromLabel("XYZ");
+    PauliString via_circuit = p;
+    qc.conjugatePauli(via_circuit);
+    // Independent check by explicit gate application.
+    PauliString manual = p;
+    manual.applyH(0);
+    manual.applyCX(0, 1);
+    manual.applyS(2);
+    manual.applyCZ(1, 2);
+    EXPECT_EQ(via_circuit, manual);
+}
+
+} // namespace
+} // namespace quclear

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the extension modules beyond the paper's core pipeline:
+ * classical-shadow estimation (Sec. VI-A's cited alternative), the
+ * depolarizing noise model, the equivalence checker, and the
+ * Tetris-style baseline.
+ */
+#include <gtest/gtest.h>
+
+#include "baselines/naive_synthesis.hpp"
+#include "baselines/tetris_like.hpp"
+#include "core/quclear.hpp"
+#include "mapping/devices.hpp"
+#include "mapping/sabre_router.hpp"
+#include "pauli/pauli_list.hpp"
+#include "sim/expectation.hpp"
+#include "sim/noise_model.hpp"
+#include "sim/shadows.hpp"
+#include "util/rng.hpp"
+#include "verify/equivalence.hpp"
+
+namespace quclear {
+namespace {
+
+// --------------------------------------------------------------------
+// Classical shadows
+// --------------------------------------------------------------------
+
+TEST(ShadowsTest, IdentityObservableIsExact)
+{
+    ShadowEstimator est(3);
+    Rng rng(1);
+    QuantumCircuit qc(3);
+    qc.h(0);
+    est.collect(qc, 10, rng);
+    EXPECT_DOUBLE_EQ(est.estimate(PauliString::fromLabel("III")), 1.0);
+    EXPECT_DOUBLE_EQ(est.estimate(PauliString::fromLabel("-III")), -1.0);
+}
+
+TEST(ShadowsTest, SingleQubitStabilizerState)
+{
+    // For H|0>: <X> = 1, <Z> = 0, <Y> = 0.
+    QuantumCircuit qc(1);
+    qc.h(0);
+    ShadowEstimator est(1);
+    Rng rng(2);
+    est.collect(qc, 9000, rng);
+    EXPECT_NEAR(est.estimate(PauliString::fromLabel("X")), 1.0, 0.1);
+    EXPECT_NEAR(est.estimate(PauliString::fromLabel("Z")), 0.0, 0.1);
+    EXPECT_NEAR(est.estimate(PauliString::fromLabel("Y")), 0.0, 0.1);
+}
+
+TEST(ShadowsTest, UnbiasedOnRandomStates)
+{
+    // Compare shadow estimates against exact expectations for weight <= 2
+    // observables on a random circuit state.
+    Rng rng(3);
+    QuantumCircuit qc(3);
+    qc.h(0);
+    qc.cx(0, 1);
+    qc.rz(1, 0.9);
+    qc.ry(2, 0.4);
+    qc.cx(1, 2);
+
+    ShadowEstimator est(3);
+    est.collect(qc, 20000, rng);
+    Statevector sv(3);
+    sv.applyCircuit(qc);
+
+    for (const char *label : { "ZII", "IZI", "XXI", "IZZ", "YIY" }) {
+        const PauliString obs = PauliString::fromLabel(label);
+        EXPECT_NEAR(est.estimate(obs), sv.expectation(obs), 0.15)
+            << label;
+    }
+}
+
+TEST(ShadowsTest, EstimatesAbsorbedObservables)
+{
+    // The QuCLEAR workflow composes with shadows: measure the optimized
+    // circuit once, estimate every absorbed observable from the shadow.
+    const std::vector<PauliTerm> terms = {
+        PauliTerm::fromLabel("ZZI", 0.4),
+        PauliTerm::fromLabel("XYZ", 0.7),
+    };
+    const QuClear compiler;
+    const auto program = compiler.compile(terms);
+    const std::vector<PauliString> observables = {
+        PauliString::fromLabel("ZII"), PauliString::fromLabel("IZZ")
+    };
+    const auto absorbed = compiler.absorbObservables(program, observables);
+
+    ShadowEstimator est(3);
+    Rng rng(4);
+    est.collect(program.circuit(), 30000, rng);
+
+    const Statevector reference = referenceState(terms);
+    for (size_t k = 0; k < observables.size(); ++k) {
+        PauliString unsigned_obs = absorbed[k].transformed;
+        unsigned_obs.setPhase(0);
+        const double shadow_value =
+            absorbed[k].sign * est.estimate(unsigned_obs);
+        EXPECT_NEAR(shadow_value,
+                    reference.expectation(observables[k]), 0.2);
+    }
+}
+
+// --------------------------------------------------------------------
+// Noise model
+// --------------------------------------------------------------------
+
+TEST(NoiseModelTest, EmptyCircuitIsPerfect)
+{
+    NoiseModel noise;
+    QuantumCircuit qc(4);
+    EXPECT_DOUBLE_EQ(noise.estimatedSuccessProbability(qc), 1.0);
+}
+
+TEST(NoiseModelTest, MonotoneInGateCount)
+{
+    NoiseModel noise;
+    QuantumCircuit small(2), big(2);
+    small.cx(0, 1);
+    big.cx(0, 1);
+    big.cx(0, 1);
+    big.h(0);
+    EXPECT_GT(noise.estimatedSuccessProbability(small),
+              noise.estimatedSuccessProbability(big));
+}
+
+TEST(NoiseModelTest, LogInfidelityAdditive)
+{
+    NoiseModel noise;
+    QuantumCircuit a(2), b(2);
+    a.cx(0, 1);
+    b.h(0);
+    QuantumCircuit ab = a;
+    ab.appendCircuit(b);
+    EXPECT_NEAR(noise.logInfidelity(ab),
+                noise.logInfidelity(a) + noise.logInfidelity(b), 1e-12);
+}
+
+TEST(NoiseModelTest, QuclearImprovesEstimatedFidelity)
+{
+    const auto terms =
+        termsFromLabels({ "ZZZZ", "YYXX", "XZXZ", "ZIZI" }, 0.2);
+    const QuClear compiler;
+    const auto program = compiler.compile(terms);
+    NoiseModel noise;
+    EXPECT_GT(noise.estimatedSuccessProbability(program.circuit()),
+              noise.estimatedSuccessProbability(naiveSynthesis(terms)));
+}
+
+// --------------------------------------------------------------------
+// Equivalence checker
+// --------------------------------------------------------------------
+
+TEST(EquivalenceTest, CliffordPairsAnyWidth)
+{
+    // 40 qubits: far beyond dense reach; tableau comparison is exact.
+    QuantumCircuit a(40), b(40), c(40);
+    for (uint32_t q = 0; q + 1 < 40; ++q) {
+        a.cx(q, q + 1);
+        b.cx(q, q + 1);
+        c.cx(q + 1, q);
+    }
+    EXPECT_EQ(checkEquivalence(a, b), EquivalenceVerdict::Equivalent);
+    EXPECT_EQ(checkEquivalence(a, c), EquivalenceVerdict::NotEquivalent);
+}
+
+TEST(EquivalenceTest, GeneralSmallCircuits)
+{
+    QuantumCircuit a(2), b(2);
+    a.rz(0, 0.5);
+    a.rz(0, 0.5);
+    b.rz(0, 1.0);
+    EXPECT_EQ(checkEquivalence(a, b), EquivalenceVerdict::Equivalent);
+    b.rz(1, 0.1);
+    EXPECT_EQ(checkEquivalence(a, b), EquivalenceVerdict::NotEquivalent);
+}
+
+TEST(EquivalenceTest, InconclusiveBeyondCap)
+{
+    QuantumCircuit a(20), b(20);
+    a.rz(0, 0.5);
+    b.rz(0, 0.5);
+    EXPECT_EQ(checkEquivalence(a, b), EquivalenceVerdict::Inconclusive);
+}
+
+TEST(EquivalenceTest, DifferentWidthsNotEquivalent)
+{
+    QuantumCircuit a(2), b(3);
+    EXPECT_EQ(checkEquivalence(a, b), EquivalenceVerdict::NotEquivalent);
+}
+
+// --------------------------------------------------------------------
+// Tetris-style baseline
+// --------------------------------------------------------------------
+
+TEST(TetrisLikeTest, SemanticallyExact)
+{
+    Rng rng(1701);
+    for (int trial = 0; trial < 8; ++trial) {
+        std::vector<PauliTerm> terms;
+        for (int i = 0; i < 8; ++i) {
+            PauliString p(4);
+            for (uint32_t q = 0; q < 4; ++q)
+                p.setOp(q, static_cast<PauliOp>(rng.uniformInt(4)));
+            if (!p.isIdentity())
+                terms.emplace_back(std::move(p),
+                                   rng.uniformReal(-1, 1));
+        }
+        if (terms.empty())
+            continue;
+        const QuantumCircuit qc = tetrisLikeCompile(terms);
+        Statevector sv(4);
+        sv.applyCircuit(qc);
+        EXPECT_TRUE(referenceState(terms).equalsUpToGlobalPhase(sv));
+    }
+}
+
+TEST(TetrisLikeTest, DeviceAwareModeExactAndRoutable)
+{
+    const CouplingMap device = lineDevice(5);
+    const auto terms =
+        termsFromLabels({ "ZZIII", "IZZII", "ZIZIZ", "IIZZZ" }, 0.3);
+    TetrisConfig config;
+    config.device = &device;
+    const QuantumCircuit qc = tetrisLikeCompile(terms, config);
+    Statevector sv(5);
+    sv.applyCircuit(qc);
+    EXPECT_TRUE(referenceState(terms).equalsUpToGlobalPhase(sv));
+
+    // Device-aware ladders should route with no more CNOTs than the
+    // device-oblivious ones.
+    const QuantumCircuit plain = tetrisLikeCompile(terms);
+    const size_t aware =
+        mapToDevice(qc, device).routed.twoQubitCount(true);
+    const size_t oblivious =
+        mapToDevice(plain, device).routed.twoQubitCount(true);
+    EXPECT_LE(aware, oblivious + 2); // allow small router noise
+}
+
+} // namespace
+} // namespace quclear

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for the device-mapping substrate of Fig. 11: coupling maps,
+ * device topologies, layout selection, SABRE routing validity (every
+ * two-qubit gate on an edge) and semantic preservation, and the
+ * CNOT-network synthesis used by QAOA absorption.
+ */
+#include <gtest/gtest.h>
+
+#include "mapping/cnot_synthesis.hpp"
+#include "mapping/devices.hpp"
+#include "mapping/layout.hpp"
+#include "mapping/sabre_router.hpp"
+#include "sim/statevector.hpp"
+#include "util/rng.hpp"
+
+namespace quclear {
+namespace {
+
+TEST(CouplingMapTest, DistancesOnALine)
+{
+    const CouplingMap line = lineDevice(5);
+    EXPECT_EQ(line.distance(0, 4), 4u);
+    EXPECT_EQ(line.distance(2, 3), 1u);
+    EXPECT_TRUE(line.adjacent(1, 2));
+    EXPECT_FALSE(line.adjacent(0, 2));
+    EXPECT_TRUE(line.isConnected());
+}
+
+TEST(DeviceTest, ManhattanHeavyHex)
+{
+    const CouplingMap dev = manhattanHeavyHex();
+    EXPECT_EQ(dev.numQubits(), 65u);
+    EXPECT_EQ(dev.edges().size(), 72u);
+    EXPECT_TRUE(dev.isConnected());
+    // Heavy-hex degree bound: no qubit exceeds degree 3.
+    for (uint32_t q = 0; q < dev.numQubits(); ++q)
+        EXPECT_LE(dev.neighbors(q).size(), 3u);
+}
+
+TEST(DeviceTest, SycamoreGrid)
+{
+    const CouplingMap dev = sycamoreGrid();
+    EXPECT_EQ(dev.numQubits(), 64u);
+    EXPECT_EQ(dev.edges().size(), 2u * 8 * 7);
+    EXPECT_TRUE(dev.isConnected());
+    for (uint32_t q = 0; q < dev.numQubits(); ++q)
+        EXPECT_LE(dev.neighbors(q).size(), 4u);
+}
+
+TEST(LayoutTest, GreedyLayoutIsValidPermutation)
+{
+    QuantumCircuit qc(6);
+    Rng rng(31);
+    for (int i = 0; i < 20; ++i) {
+        const uint32_t a = static_cast<uint32_t>(rng.uniformInt(6));
+        const uint32_t b = static_cast<uint32_t>(rng.uniformInt(6));
+        if (a != b)
+            qc.cx(a, b);
+    }
+    const CouplingMap dev = gridDevice(3, 3);
+    const auto layout = greedyLayout(qc, dev);
+    ASSERT_EQ(layout.size(), 6u);
+    std::set<uint32_t> used(layout.begin(), layout.end());
+    EXPECT_EQ(used.size(), 6u); // injective
+    for (uint32_t phys : layout)
+        EXPECT_LT(phys, dev.numQubits());
+}
+
+TEST(LayoutTest, HeavyInteractionPairsPlacedAdjacent)
+{
+    QuantumCircuit qc(2);
+    for (int i = 0; i < 10; ++i)
+        qc.cx(0, 1);
+    const CouplingMap dev = lineDevice(8);
+    const auto layout = greedyLayout(qc, dev);
+    EXPECT_EQ(dev.distance(layout[0], layout[1]), 1u);
+}
+
+void
+expectRoutedValid(const QuantumCircuit &logical, const CouplingMap &dev,
+                  const RoutingResult &result)
+{
+    for (const Gate &g : result.routed.gates()) {
+        if (isTwoQubit(g.type)) {
+            EXPECT_TRUE(dev.adjacent(g.q0, g.q1))
+                << gateName(g.type) << " " << g.q0 << "," << g.q1;
+        }
+    }
+    // Gate conservation: all original gates present (plus swaps).
+    size_t non_swap = 0;
+    for (const Gate &g : result.routed.gates())
+        if (g.type != GateType::Swap)
+            ++non_swap;
+    EXPECT_EQ(non_swap, logical.size());
+}
+
+TEST(RouterTest, AdjacentGatesNeedNoSwaps)
+{
+    QuantumCircuit qc(3);
+    qc.cx(0, 1);
+    qc.cx(1, 2);
+    const CouplingMap dev = lineDevice(3);
+    const auto result = sabreRoute(qc, dev, trivialLayout(3));
+    EXPECT_EQ(result.swapCount, 0u);
+    expectRoutedValid(qc, dev, result);
+}
+
+TEST(RouterTest, DistantGateGetsRouted)
+{
+    QuantumCircuit qc(4);
+    qc.cx(0, 3);
+    const CouplingMap dev = lineDevice(4);
+    const auto result = sabreRoute(qc, dev, trivialLayout(4));
+    EXPECT_GE(result.swapCount, 1u);
+    expectRoutedValid(qc, dev, result);
+}
+
+/**
+ * Routing preserves semantics: undo the final layout permutation with
+ * SWAPs and compare against the logical circuit extended to the device
+ * size.
+ */
+void
+expectRoutingSemantics(const QuantumCircuit &logical,
+                       const CouplingMap &dev)
+{
+    const auto layout0 = trivialLayout(logical.numQubits());
+    const auto result = sabreRoute(logical, dev, layout0);
+    expectRoutedValid(logical, dev, result);
+
+    // Build the reference: logical circuit embedded at physical = logical
+    // (trivial initial layout).
+    QuantumCircuit reference(dev.numQubits());
+    for (const Gate &g : logical.gates()) {
+        Gate mapped = g;
+        mapped.q0 = layout0[g.q0];
+        if (isTwoQubit(g.type))
+            mapped.q1 = layout0[g.q1];
+        else
+            mapped.q1 = mapped.q0;
+        reference.append(mapped);
+    }
+    // Undo the routing permutation: map physical back.
+    QuantumCircuit undo = result.routed;
+    // final layout: logical q -> result.finalLayout[q]; append swaps to
+    // restore physical q = layout0[q].
+    std::vector<uint32_t> current = result.finalLayout;
+    for (uint32_t q = 0; q < logical.numQubits(); ++q) {
+        const uint32_t want = layout0[q];
+        if (current[q] == want)
+            continue;
+        // Find the logical qubit (if any) currently at 'want'.
+        uint32_t other = logical.numQubits();
+        for (uint32_t r = 0; r < logical.numQubits(); ++r)
+            if (current[r] == want)
+                other = r;
+        undo.swap(current[q], want);
+        if (other != logical.numQubits())
+            current[other] = current[q];
+        current[q] = want;
+    }
+    EXPECT_TRUE(circuitsEquivalent(reference, undo));
+}
+
+TEST(RouterTest, SemanticsPreservedOnLine)
+{
+    Rng rng(37);
+    QuantumCircuit qc(4);
+    for (int i = 0; i < 12; ++i) {
+        const uint32_t a = static_cast<uint32_t>(rng.uniformInt(4));
+        const uint32_t b = static_cast<uint32_t>(rng.uniformInt(4));
+        if (a != b)
+            qc.cx(a, b);
+        else
+            qc.rz(a, rng.uniformReal(-1, 1));
+    }
+    expectRoutingSemantics(qc, lineDevice(4));
+}
+
+TEST(RouterTest, SemanticsPreservedOnGrid)
+{
+    Rng rng(41);
+    QuantumCircuit qc(6);
+    for (int i = 0; i < 15; ++i) {
+        const uint32_t a = static_cast<uint32_t>(rng.uniformInt(6));
+        const uint32_t b = static_cast<uint32_t>(rng.uniformInt(6));
+        if (a != b)
+            qc.cx(a, b);
+        else
+            qc.h(a);
+    }
+    expectRoutingSemantics(qc, gridDevice(2, 3));
+}
+
+TEST(RouterTest, LargeCircuitTerminates)
+{
+    Rng rng(43);
+    QuantumCircuit qc(20);
+    for (int i = 0; i < 400; ++i) {
+        const uint32_t a = static_cast<uint32_t>(rng.uniformInt(20));
+        const uint32_t b = static_cast<uint32_t>(rng.uniformInt(20));
+        if (a != b)
+            qc.cx(a, b);
+    }
+    const CouplingMap dev = manhattanHeavyHex();
+    const auto result = mapToDevice(qc, dev);
+    expectRoutedValid(qc, dev, result);
+    EXPECT_GT(result.swapCount, 0u);
+}
+
+TEST(CnotSynthesisTest, RoundTripRandomNetworks)
+{
+    Rng rng(47);
+    for (int trial = 0; trial < 20; ++trial) {
+        const uint32_t n = 2 + static_cast<uint32_t>(rng.uniformInt(7));
+        QuantumCircuit net(n);
+        for (int i = 0; i < 3 * static_cast<int>(n); ++i) {
+            const uint32_t a = static_cast<uint32_t>(rng.uniformInt(n));
+            const uint32_t b = static_cast<uint32_t>(rng.uniformInt(n));
+            if (a != b)
+                net.cx(a, b);
+        }
+        const LinearFunction lf = LinearFunction::ofCircuit(net);
+        const QuantumCircuit synth = synthesizeCnotNetwork(lf);
+        EXPECT_EQ(LinearFunction::ofCircuit(synth), lf);
+    }
+}
+
+TEST(CnotSynthesisTest, ApplyMatchesCircuitAction)
+{
+    QuantumCircuit net(3);
+    net.cx(0, 1);
+    net.cx(1, 2);
+    const LinearFunction lf = LinearFunction::ofCircuit(net);
+    // |110>: bits q0=0? basis bit q = (basis >> q) & 1. Input 0b011
+    // (q0=1, q1=1): CX(0,1) -> q1 ^= q0 = 0; CX(1,2) -> q2 ^= q1 = 0.
+    EXPECT_EQ(lf.apply(0b011), 0b001u);
+    EXPECT_EQ(lf.apply(0b001), 0b111u); // q0=1 propagates through both
+}
+
+TEST(CnotSynthesisTest, IdentitySynthesizesEmpty)
+{
+    const auto qc = synthesizeCnotNetwork(LinearFunction::identity(5));
+    EXPECT_EQ(qc.size(), 0u);
+}
+
+} // namespace
+} // namespace quclear

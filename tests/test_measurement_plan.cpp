@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for simultaneous diagonalization and the grouped measurement
+ * plan: diagonal images must be Z-only and unitarily consistent with
+ * the basis change, and every original observable's expectation must be
+ * recovered exactly from the group's joint Z-basis statistics.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/diagonalization.hpp"
+#include "core/measurement_plan.hpp"
+#include "core/quclear.hpp"
+#include "sim/expectation.hpp"
+#include "util/rng.hpp"
+
+namespace quclear {
+namespace {
+
+std::vector<PauliString>
+randomCommutingSet(uint32_t n, size_t target, Rng &rng)
+{
+    // Build by rejection: add random strings that commute with all
+    // current members.
+    std::vector<PauliString> set;
+    size_t attempts = 0;
+    while (set.size() < target && attempts < 500) {
+        ++attempts;
+        PauliString p(n);
+        for (uint32_t q = 0; q < n; ++q)
+            p.setOp(q, static_cast<PauliOp>(rng.uniformInt(4)));
+        if (p.isIdentity())
+            continue;
+        bool ok = true;
+        for (const auto &member : set) {
+            if (!p.commutesWith(member)) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            set.push_back(std::move(p));
+    }
+    return set;
+}
+
+TEST(DiagonalizationTest, AlreadyDiagonalSetNeedsNoGates)
+{
+    const std::vector<PauliString> set = {
+        PauliString::fromLabel("ZZI"), PauliString::fromLabel("IZZ")
+    };
+    const auto diag = diagonalizeCommutingSet(set);
+    EXPECT_EQ(diag.circuit.size(), 0u);
+    EXPECT_EQ(diag.diagonal[0], set[0]);
+    EXPECT_EQ(diag.diagonal[1], set[1]);
+}
+
+TEST(DiagonalizationTest, BellBasisPair)
+{
+    // XX and ZZ commute but need entangling diagonalization.
+    const std::vector<PauliString> set = {
+        PauliString::fromLabel("XX"), PauliString::fromLabel("ZZ")
+    };
+    const auto diag = diagonalizeCommutingSet(set);
+    for (const auto &p : diag.diagonal)
+        EXPECT_TRUE(p.isZOnly());
+    // Consistency: C . P . C~ == diagonal image, exactly.
+    for (size_t i = 0; i < set.size(); ++i) {
+        PauliString img = set[i];
+        diag.circuit.conjugatePauli(img);
+        EXPECT_EQ(img, diag.diagonal[i]);
+    }
+}
+
+TEST(DiagonalizationTest, RandomCommutingSetsDiagonalize)
+{
+    Rng rng(1801);
+    for (int trial = 0; trial < 20; ++trial) {
+        const uint32_t n = 3 + static_cast<uint32_t>(rng.uniformInt(4));
+        const auto set = randomCommutingSet(n, 2 + rng.uniformInt(5), rng);
+        if (set.empty())
+            continue;
+        const auto diag = diagonalizeCommutingSet(set);
+        ASSERT_EQ(diag.diagonal.size(), set.size());
+        for (size_t i = 0; i < set.size(); ++i) {
+            EXPECT_TRUE(diag.diagonal[i].isZOnly());
+            PauliString img = set[i];
+            diag.circuit.conjugatePauli(img);
+            EXPECT_EQ(img, diag.diagonal[i]);
+        }
+    }
+}
+
+TEST(DiagonalizationTest, SignsPreserved)
+{
+    const std::vector<PauliString> set = {
+        PauliString::fromLabel("-XX"), PauliString::fromLabel("ZZ")
+    };
+    const auto diag = diagonalizeCommutingSet(set);
+    PauliString img = set[0];
+    diag.circuit.conjugatePauli(img);
+    EXPECT_EQ(img, diag.diagonal[0]);
+}
+
+TEST(MeasurementPlanTest, FewerCircuitsThanObservables)
+{
+    Rng rng(1811);
+    std::vector<PauliTerm> terms;
+    for (int i = 0; i < 8; ++i) {
+        PauliString p(4);
+        for (uint32_t q = 0; q < 4; ++q)
+            p.setOp(q, static_cast<PauliOp>(rng.uniformInt(4)));
+        if (!p.isIdentity())
+            terms.emplace_back(std::move(p), rng.uniformReal(-1, 1));
+    }
+    const auto extraction = CliffordExtractor().run(terms);
+
+    std::vector<PauliString> observables;
+    for (int k = 0; k < 16; ++k) {
+        PauliString p(4);
+        for (uint32_t q = 0; q < 4; ++q)
+            p.setOp(q, static_cast<PauliOp>(rng.uniformInt(4)));
+        observables.push_back(std::move(p));
+    }
+    const auto plan = planMeasurements(extraction, observables);
+    EXPECT_LT(plan.circuitCount(), observables.size());
+
+    // Every observable appears exactly once.
+    size_t covered = 0;
+    for (const auto &group : plan.groups)
+        covered += group.observableIndices.size();
+    EXPECT_EQ(covered, observables.size());
+}
+
+TEST(MeasurementPlanTest, GroupedExpectationsExact)
+{
+    Rng rng(1823);
+    std::vector<PauliTerm> terms;
+    for (int i = 0; i < 6; ++i) {
+        PauliString p(4);
+        for (uint32_t q = 0; q < 4; ++q)
+            p.setOp(q, static_cast<PauliOp>(rng.uniformInt(4)));
+        if (!p.isIdentity())
+            terms.emplace_back(std::move(p), rng.uniformReal(-1, 1));
+    }
+    const auto extraction = CliffordExtractor().run(terms);
+
+    std::vector<PauliString> observables;
+    for (int k = 0; k < 10; ++k) {
+        PauliString p(4);
+        for (uint32_t q = 0; q < 4; ++q)
+            p.setOp(q, static_cast<PauliOp>(rng.uniformInt(4)));
+        observables.push_back(std::move(p));
+    }
+    const auto plan = planMeasurements(extraction, observables);
+    const Statevector reference = referenceState(terms);
+
+    for (const auto &group : plan.groups) {
+        // Exact pseudo-counts from the group's joint circuit.
+        const auto probs =
+            outputProbabilities(groupCircuit(extraction, group));
+        std::map<uint64_t, uint64_t> counts;
+        for (uint64_t b = 0; b < probs.size(); ++b) {
+            const auto c = static_cast<uint64_t>(
+                std::llround(probs[b] * 100000000));
+            if (c)
+                counts[b] = c;
+        }
+        for (size_t slot = 0; slot < group.observableIndices.size();
+             ++slot) {
+            const size_t original = group.observableIndices[slot];
+            EXPECT_NEAR(
+                expectationFromGroupCounts(group, slot, counts),
+                reference.expectation(observables[original]), 1e-6)
+                << "observable " << original;
+        }
+    }
+}
+
+TEST(MeasurementPlanTest, IdentityObservableHandled)
+{
+    const auto terms = termsFromLabels({ "ZZ" }, 0.4);
+    const auto extraction = CliffordExtractor().run(terms);
+    const std::vector<PauliString> observables = {
+        PauliString::fromLabel("II"), PauliString::fromLabel("ZI")
+    };
+    const auto plan = planMeasurements(extraction, observables);
+    const auto probs = outputProbabilities(
+        groupCircuit(extraction, plan.groups[0]));
+    std::map<uint64_t, uint64_t> counts;
+    for (uint64_t b = 0; b < probs.size(); ++b) {
+        const auto c =
+            static_cast<uint64_t>(std::llround(probs[b] * 1000000));
+        if (c)
+            counts[b] = c;
+    }
+    // Identity observable: expectation 1 regardless of counts.
+    for (const auto &group : plan.groups) {
+        for (size_t slot = 0; slot < group.observableIndices.size();
+             ++slot) {
+            if (group.observableIndices[slot] == 0) {
+                EXPECT_NEAR(
+                    expectationFromGroupCounts(group, slot, counts),
+                    1.0, 1e-9);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace quclear

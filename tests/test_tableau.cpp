@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the Clifford tableau: gate-by-gate consistency, exact
+ * conjugation against the dense simulator, synthesis round-trips, and
+ * the O(n^2)-bits representation claims used in Sec. V-D / VI-A.
+ */
+#include <gtest/gtest.h>
+
+#include "circuit/quantum_circuit.hpp"
+#include "sim/statevector.hpp"
+#include "tableau/clifford_tableau.hpp"
+#include "util/rng.hpp"
+
+namespace quclear {
+namespace {
+
+QuantumCircuit
+randomCliffordCircuit(uint32_t n, size_t gates, Rng &rng)
+{
+    QuantumCircuit qc(n);
+    while (qc.size() < gates) {
+        const uint32_t q = static_cast<uint32_t>(rng.uniformInt(n));
+        switch (rng.uniformInt(8)) {
+          case 0: qc.h(q); break;
+          case 1: qc.s(q); break;
+          case 2: qc.sdg(q); break;
+          case 3: qc.x(q); break;
+          case 4: qc.sx(q); break;
+          case 5: {
+            const uint32_t r = static_cast<uint32_t>(rng.uniformInt(n));
+            if (r != q)
+                qc.cx(q, r);
+            break;
+          }
+          case 6: {
+            const uint32_t r = static_cast<uint32_t>(rng.uniformInt(n));
+            if (r != q)
+                qc.cz(q, r);
+            break;
+          }
+          default: {
+            const uint32_t r = static_cast<uint32_t>(rng.uniformInt(n));
+            if (r != q)
+                qc.swap(q, r);
+            break;
+          }
+        }
+    }
+    return qc;
+}
+
+PauliString
+randomPauli(uint32_t n, Rng &rng)
+{
+    PauliString p(n);
+    for (uint32_t q = 0; q < n; ++q)
+        p.setOp(q, static_cast<PauliOp>(rng.uniformInt(4)));
+    return p;
+}
+
+TEST(TableauTest, IdentityMapsGeneratorsToThemselves)
+{
+    CliffordTableau t(3);
+    EXPECT_TRUE(t.isIdentity());
+    EXPECT_EQ(t.imageX(1).toLabel(), "IXI");
+    EXPECT_EQ(t.imageZ(2).toLabel(), "ZII");
+}
+
+TEST(TableauTest, HSwapsXAndZ)
+{
+    CliffordTableau t(1);
+    t.appendH(0);
+    EXPECT_EQ(t.imageX(0).toLabel(), "Z");
+    EXPECT_EQ(t.imageZ(0).toLabel(), "X");
+}
+
+TEST(TableauTest, SMapsXToY)
+{
+    CliffordTableau t(1);
+    t.appendS(0);
+    EXPECT_EQ(t.imageX(0).toLabel(), "Y");
+    EXPECT_EQ(t.imageZ(0).toLabel(), "Z");
+}
+
+TEST(TableauTest, CnotSpreadsXAndZ)
+{
+    CliffordTableau t(2);
+    t.appendCX(0, 1); // control 0, target 1
+    EXPECT_EQ(t.imageX(0).toLabel(), "XX"); // X_c -> X_c X_t
+    EXPECT_EQ(t.imageX(1).toLabel(), "XI"); // X_t -> X_t
+    EXPECT_EQ(t.imageZ(0).toLabel(), "IZ"); // Z_c -> Z_c
+    EXPECT_EQ(t.imageZ(1).toLabel(), "ZZ"); // Z_t -> Z_c Z_t
+}
+
+TEST(TableauTest, ConjugateMatchesGateByGateApplication)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 40; ++trial) {
+        const uint32_t n = 5;
+        QuantumCircuit qc = randomCliffordCircuit(n, 30, rng);
+        const CliffordTableau t = CliffordTableau::fromCircuit(qc);
+        PauliString p = randomPauli(n, rng);
+        PauliString direct = p;
+        qc.conjugatePauli(direct);
+        EXPECT_EQ(t.conjugate(p), direct);
+    }
+}
+
+TEST(TableauTest, ConjugateExactOnStatevector)
+{
+    // U P U~ . U == U . P exactly, on random states.
+    Rng rng(5);
+    for (int trial = 0; trial < 20; ++trial) {
+        const uint32_t n = 4;
+        QuantumCircuit qc = randomCliffordCircuit(n, 24, rng);
+        const CliffordTableau t = CliffordTableau::fromCircuit(qc);
+        PauliString p = randomPauli(n, rng);
+        PauliString pc = t.conjugate(p);
+
+        QuantumCircuit scramble = randomCliffordCircuit(n, 10, rng);
+        Statevector lhs(n), rhs(n);
+        lhs.applyCircuit(scramble);
+        rhs.applyCircuit(scramble);
+        lhs.applyCircuit(qc);
+        lhs.applyPauli(pc);
+        rhs.applyPauli(p);
+        rhs.applyCircuit(qc);
+        for (uint64_t b = 0; b < lhs.dim(); ++b) {
+            ASSERT_NEAR(std::abs(lhs.amplitude(b) - rhs.amplitude(b)),
+                        0.0, 1e-9);
+        }
+    }
+}
+
+TEST(TableauTest, ConjugationPreservesCommutationRelations)
+{
+    // Sec. VI-A: Clifford maps preserve (anti)commutation, which is what
+    // allows measurement-reduction techniques to keep working after
+    // absorption.
+    Rng rng(9);
+    for (int trial = 0; trial < 50; ++trial) {
+        const uint32_t n = 6;
+        QuantumCircuit qc = randomCliffordCircuit(n, 40, rng);
+        const CliffordTableau t = CliffordTableau::fromCircuit(qc);
+        PauliString a = randomPauli(n, rng);
+        PauliString b = randomPauli(n, rng);
+        EXPECT_EQ(t.conjugate(a).commutesWith(t.conjugate(b)),
+                  a.commutesWith(b));
+    }
+}
+
+TEST(TableauTest, ConjugationPreservesWeightOfIdentity)
+{
+    Rng rng(13);
+    CliffordTableau t = CliffordTableau::fromCircuit(
+        randomCliffordCircuit(4, 20, rng));
+    PauliString id(4);
+    EXPECT_TRUE(t.conjugate(id).isIdentity());
+}
+
+TEST(TableauSynthesisTest, ToCircuitRoundTrip)
+{
+    Rng rng(17);
+    for (int trial = 0; trial < 30; ++trial) {
+        const uint32_t n = 1 + static_cast<uint32_t>(rng.uniformInt(6));
+        QuantumCircuit qc = randomCliffordCircuit(n, 8 * n, rng);
+        const CliffordTableau t = CliffordTableau::fromCircuit(qc);
+        QuantumCircuit synth = t.toCircuit();
+        const CliffordTableau back = CliffordTableau::fromCircuit(synth);
+        EXPECT_EQ(back, t) << "round-trip failed at n=" << n;
+    }
+}
+
+TEST(TableauSynthesisTest, SynthesizedCircuitUnitaryEquivalent)
+{
+    Rng rng(19);
+    for (int trial = 0; trial < 10; ++trial) {
+        const uint32_t n = 3;
+        QuantumCircuit qc = randomCliffordCircuit(n, 18, rng);
+        QuantumCircuit synth =
+            CliffordTableau::fromCircuit(qc).toCircuit();
+        EXPECT_TRUE(circuitsEquivalent(qc, synth));
+    }
+}
+
+TEST(TableauSynthesisTest, IdentityTableauSynthesizesEmptyPauliLayerOnly)
+{
+    CliffordTableau t(4);
+    QuantumCircuit qc = t.toCircuit();
+    EXPECT_EQ(qc.size(), 0u);
+}
+
+TEST(TableauTest, ComposeViaAppendCircuitMatchesSequentialConjugation)
+{
+    Rng rng(29);
+    const uint32_t n = 5;
+    QuantumCircuit a = randomCliffordCircuit(n, 20, rng);
+    QuantumCircuit b = randomCliffordCircuit(n, 20, rng);
+    CliffordTableau tab = CliffordTableau::fromCircuit(a);
+    tab.appendCircuit(b);
+
+    QuantumCircuit ab = a;
+    ab.appendCircuit(b);
+    EXPECT_EQ(tab, CliffordTableau::fromCircuit(ab));
+}
+
+} // namespace
+} // namespace quclear

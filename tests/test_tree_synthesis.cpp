@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for CNOT-tree synthesis (Algorithm 1): tree validity (exactly
+ * w-1 CNOTs folding the support into one parity root), the Table-I
+ * weight-delta model, lookahead-driven optimization including the
+ * paper's Fig. 2 and Fig. 7 walk-throughs, and the cheap cost model of
+ * find_next_pauli.
+ */
+#include <gtest/gtest.h>
+
+#include "core/tree_synthesis.hpp"
+#include "util/rng.hpp"
+
+namespace quclear {
+namespace {
+
+struct SynthOutput
+{
+    QuantumCircuit tree;
+    CliffordTableau acc;
+    uint32_t root;
+
+    SynthOutput(uint32_t n) : tree(n), acc(n), root(0) {}
+};
+
+SynthOutput
+runSynthesis(const PauliString &current,
+             const std::vector<PauliString> &lookahead,
+             const TreeSynthesisConfig &config = {})
+{
+    const uint32_t n = current.numQubits();
+    SynthOutput out(n);
+    std::vector<const PauliString *> ptrs;
+    for (const auto &p : lookahead)
+        ptrs.push_back(&p);
+    TreeSynthesizer synth(out.acc, out.tree, ptrs, config);
+    out.root = synth.synthesize(current.support());
+    return out;
+}
+
+TEST(CxWeightDeltaTest, MatchesTableOne)
+{
+    // Reducing combinations: XX, YX, ZY, ZZ -> delta -1.
+    for (auto &&[c, t] : { std::pair{ PauliOp::X, PauliOp::X },
+                           std::pair{ PauliOp::Y, PauliOp::X },
+                           std::pair{ PauliOp::Z, PauliOp::Y },
+                           std::pair{ PauliOp::Z, PauliOp::Z } }) {
+        PauliString p(2);
+        p.setOp(1, c); // control = qubit 1
+        p.setOp(0, t);
+        EXPECT_EQ(cxWeightDelta(p, 1, 0), -1)
+            << pauliOpChar(c) << pauliOpChar(t);
+    }
+    // Weight-increasing: IY, IZ, XI, YI.
+    for (auto &&[c, t] : { std::pair{ PauliOp::I, PauliOp::Y },
+                           std::pair{ PauliOp::I, PauliOp::Z },
+                           std::pair{ PauliOp::X, PauliOp::I },
+                           std::pair{ PauliOp::Y, PauliOp::I } }) {
+        PauliString p(2);
+        p.setOp(1, c);
+        p.setOp(0, t);
+        EXPECT_EQ(cxWeightDelta(p, 1, 0), 1)
+            << pauliOpChar(c) << pauliOpChar(t);
+    }
+    // Neutral: II, IX, ZI, ZX, XY, XZ, YY, YZ, XX is covered above...
+    for (auto &&[c, t] : { std::pair{ PauliOp::I, PauliOp::I },
+                           std::pair{ PauliOp::I, PauliOp::X },
+                           std::pair{ PauliOp::Z, PauliOp::I },
+                           std::pair{ PauliOp::Z, PauliOp::X },
+                           std::pair{ PauliOp::X, PauliOp::Y },
+                           std::pair{ PauliOp::X, PauliOp::Z },
+                           std::pair{ PauliOp::Y, PauliOp::Y },
+                           std::pair{ PauliOp::Y, PauliOp::Z } }) {
+        PauliString p(2);
+        p.setOp(1, c);
+        p.setOp(0, t);
+        EXPECT_EQ(cxWeightDelta(p, 1, 0), 0)
+            << pauliOpChar(c) << pauliOpChar(t);
+    }
+}
+
+TEST(TreeSynthesisTest, TreeFoldsSupportIntoRoot)
+{
+    Rng rng(401);
+    for (int trial = 0; trial < 30; ++trial) {
+        const uint32_t n = 6;
+        PauliString current(n);
+        for (uint32_t q = 0; q < n; ++q)
+            current.setOp(q, rng.bernoulli(0.6) ? PauliOp::Z : PauliOp::I);
+        if (current.weight() < 2)
+            continue;
+        PauliString look(n);
+        for (uint32_t q = 0; q < n; ++q)
+            look.setOp(q, static_cast<PauliOp>(rng.uniformInt(4)));
+
+        auto out = runSynthesis(current, { look });
+        // Exactly w-1 CNOTs.
+        EXPECT_EQ(out.tree.size(), current.weight() - 1);
+        // The tree reduces the all-Z current Pauli to Z on the root.
+        PauliString reduced = out.acc.conjugate(current);
+        EXPECT_EQ(reduced.weight(), 1u);
+        EXPECT_EQ(reduced.op(out.root), PauliOp::Z);
+        EXPECT_EQ(reduced.sign(), 1);
+    }
+}
+
+TEST(TreeSynthesisTest, PaperFigure2Lookahead)
+{
+    // Extracting ZZZZ's tree should reduce YYXX to weight 2 (the paper's
+    // Fig. 2 walk-through reaches e^{i YYII t}).
+    const PauliString current = PauliString::fromLabel("ZZZZ");
+    const PauliString next = PauliString::fromLabel("YYXX");
+    auto out = runSynthesis(current, { next });
+    EXPECT_EQ(out.tree.size(), 3u);
+    EXPECT_EQ(out.acc.conjugate(next).weight(), 2u);
+}
+
+TEST(TreeSynthesisTest, IdenticalNextPauliCollapsesToWeightOne)
+{
+    // If the next Pauli equals the current one, extraction maps it to
+    // the same single-Z as the current reduction.
+    const PauliString p = PauliString::fromLabel("ZZZZZ");
+    auto out = runSynthesis(p, { p });
+    EXPECT_EQ(out.acc.conjugate(p).weight(), 1u);
+}
+
+TEST(TreeSynthesisTest, AllZNextOverDisjointSupportUnchanged)
+{
+    // Lookahead with identity on the tree qubits is unaffected.
+    const PauliString current = PauliString::fromLabel("IIZZ");
+    const PauliString next = PauliString::fromLabel("ZZII");
+    auto out = runSynthesis(current, { next });
+    EXPECT_EQ(out.acc.conjugate(next), next);
+}
+
+TEST(TreeSynthesisTest, NoLookaheadFallsBackToChain)
+{
+    const PauliString current = PauliString::fromLabel("ZZZZ");
+    auto out = runSynthesis(current, {});
+    EXPECT_EQ(out.tree.size(), 3u);
+    // Chain in ascending order: roots at the last support qubit.
+    EXPECT_EQ(out.root, 3u);
+}
+
+TEST(TreeSynthesisTest, GroupedRecursionHandlesLargeSupport)
+{
+    // Support of 8 exceeds the exhaustive threshold: grouped recursion.
+    const PauliString current = PauliString::fromLabel("ZZZZZZZZ");
+    const PauliString next = PauliString::fromLabel("XXXXZZZZ");
+    auto out = runSynthesis(current, { next });
+    EXPECT_EQ(out.tree.size(), 7u);
+    // The all-Z half collapses to one Z; the all-X half to ceil(4/2).
+    // Connecting roots can save more; just require a real reduction.
+    EXPECT_LE(out.acc.conjugate(next).weight(), 4u);
+}
+
+TEST(TreeSynthesisTest, NonRecursiveStillGroups)
+{
+    TreeSynthesisConfig config;
+    config.recursive = false;
+    config.exhaustiveThreshold = 0;
+    const PauliString current = PauliString::fromLabel("ZZZZZZ");
+    const PauliString next = PauliString::fromLabel("XXXZZZ");
+    auto out = runSynthesis(current, { next }, config);
+    EXPECT_EQ(out.tree.size(), 5u);
+    EXPECT_LT(out.acc.conjugate(next).weight(), next.weight());
+}
+
+TEST(TreeSynthesisTest, Figure7GroupedSubtrees)
+{
+    // Fig. 7(b): synthesizing for P1 = YZXXYZZ with next P2' = ZZZIXYX
+    // (after P1's basis layer) groups {4,5,6} as Z, {3} as I, {1} as Y,
+    // {0,2} as X and reduces P2' to weight 3 (IIIIXYX in the paper).
+    // We reproduce the effect end to end: extract P1's Clifford and
+    // check P2 = YZXIZYX drops to weight <= 3.
+    const PauliString p1 = PauliString::fromLabel("YZXXYZZ");
+    const PauliString p2 = PauliString::fromLabel("YZXIZYX");
+
+    const uint32_t n = 7;
+    SynthOutput out(n);
+    // Basis layer of P1 first (as the extractor does).
+    QuantumCircuit basis(n);
+    for (uint32_t q : p1.support()) {
+        switch (p1.op(q)) {
+          case PauliOp::X:
+            basis.h(q);
+            break;
+          case PauliOp::Y:
+            basis.sdg(q);
+            basis.h(q);
+            break;
+          default:
+            break;
+        }
+    }
+    out.acc.appendCircuit(basis);
+    std::vector<const PauliString *> ptrs{ &p2 };
+    TreeSynthesizer synth(out.acc, out.tree, ptrs, {});
+    const uint32_t root = synth.synthesize(p1.support());
+    (void)root;
+    EXPECT_EQ(out.tree.size(), p1.weight() - 1);
+    EXPECT_LE(out.acc.conjugate(p2).weight(), 3u);
+}
+
+TEST(NonRecursiveCostTest, MatchesIntuition)
+{
+    // Identical Pauli: cost 1 (collapses with the tree).
+    const PauliString zz = PauliString::fromLabel("ZZZZ");
+    EXPECT_EQ(nonRecursiveExtractionCost(zz, zz), 1u);
+
+    // Disjoint supports: cost = candidate weight (unchanged).
+    const PauliString a = PauliString::fromLabel("ZZII");
+    const PauliString b = PauliString::fromLabel("IIZZ");
+    EXPECT_EQ(nonRecursiveExtractionCost(a, b), 2u);
+
+    // The cost never exceeds candidate weight + current weight (every
+    // CNOT changes weight by at most 1).
+    Rng rng(409);
+    for (int trial = 0; trial < 50; ++trial) {
+        PauliString cur(6), cand(6);
+        for (uint32_t q = 0; q < 6; ++q) {
+            cur.setOp(q, static_cast<PauliOp>(rng.uniformInt(4)));
+            cand.setOp(q, static_cast<PauliOp>(rng.uniformInt(4)));
+        }
+        if (cur.weight() < 2)
+            continue;
+        EXPECT_LE(nonRecursiveExtractionCost(cur, cand),
+                  cand.weight() + cur.weight());
+    }
+}
+
+} // namespace
+} // namespace quclear
