@@ -1,6 +1,8 @@
 #include "baselines/naive_synthesis.hpp"
 
 #include <cassert>
+#include <cstdint>
+#include <vector>
 
 #include "pauli/pauli_list.hpp"
 #include "transpile/pass_manager.hpp"

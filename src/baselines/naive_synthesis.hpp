@@ -10,6 +10,7 @@
 #ifndef QUCLEAR_BASELINES_NAIVE_SYNTHESIS_HPP
 #define QUCLEAR_BASELINES_NAIVE_SYNTHESIS_HPP
 
+#include <cstdint>
 #include <vector>
 
 #include "circuit/quantum_circuit.hpp"

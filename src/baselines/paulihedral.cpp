@@ -1,6 +1,8 @@
 #include "baselines/paulihedral.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "baselines/naive_synthesis.hpp"
 #include "pauli/pauli_list.hpp"

@@ -1,6 +1,8 @@
 #include "baselines/rustiq_like.hpp"
 
 #include <cassert>
+#include <cstdint>
+#include <vector>
 
 #include "core/tree_synthesis.hpp"
 #include "pauli/pauli_list.hpp"

@@ -15,6 +15,7 @@
 #ifndef QUCLEAR_BASELINES_RUSTIQ_LIKE_HPP
 #define QUCLEAR_BASELINES_RUSTIQ_LIKE_HPP
 
+#include <cstdint>
 #include <vector>
 
 #include "circuit/quantum_circuit.hpp"

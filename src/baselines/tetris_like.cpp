@@ -1,6 +1,9 @@
 #include "baselines/tetris_like.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "baselines/naive_synthesis.hpp"
 #include "pauli/pauli_list.hpp"

@@ -1,6 +1,8 @@
 #include "baselines/tket_like.hpp"
 
 #include <cassert>
+#include <cstdint>
+#include <vector>
 
 #include "baselines/naive_synthesis.hpp"
 #include "pauli/pauli_list.hpp"

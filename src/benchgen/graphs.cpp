@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <set>
+#include <utility>
+#include <vector>
 
 namespace quclear {
 

@@ -1,7 +1,10 @@
 #include "benchgen/labs.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
+#include <utility>
+#include <vector>
 
 namespace quclear {
 

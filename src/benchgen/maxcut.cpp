@@ -1,5 +1,9 @@
 #include "benchgen/maxcut.hpp"
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 namespace quclear {
 
 std::vector<PauliTerm>

@@ -7,6 +7,7 @@
 #ifndef QUCLEAR_BENCHGEN_MAXCUT_HPP
 #define QUCLEAR_BENCHGEN_MAXCUT_HPP
 
+#include <cstdint>
 #include <vector>
 
 #include "benchgen/graphs.hpp"

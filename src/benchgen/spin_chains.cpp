@@ -1,5 +1,9 @@
 #include "benchgen/spin_chains.hpp"
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 namespace quclear {
 
 namespace {

@@ -1,6 +1,10 @@
 #include "benchgen/suite.hpp"
 
+#include <cstdint>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "benchgen/labs.hpp"
 #include "benchgen/maxcut.hpp"

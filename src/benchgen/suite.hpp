@@ -7,6 +7,7 @@
 #ifndef QUCLEAR_BENCHGEN_SUITE_HPP
 #define QUCLEAR_BENCHGEN_SUITE_HPP
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -1,6 +1,9 @@
 #include "benchgen/uccsd.hpp"
 
 #include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "util/rng.hpp"
 

@@ -1,5 +1,7 @@
 #include "circuit/gate.hpp"
 
+#include <string>
+
 namespace quclear {
 
 std::string

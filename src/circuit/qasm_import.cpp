@@ -2,10 +2,12 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace quclear {

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <sstream>
+#include <string>
 
 #include "pauli/pauli_string.hpp"
 

@@ -2,6 +2,8 @@
 
 #include <bit>
 #include <cassert>
+#include <cstdint>
+#include <map>
 
 namespace quclear {
 

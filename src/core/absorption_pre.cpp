@@ -1,6 +1,9 @@
 #include "core/absorption_pre.hpp"
 
 #include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace quclear {
 

@@ -13,6 +13,7 @@
 #ifndef QUCLEAR_CORE_ABSORPTION_PRE_HPP
 #define QUCLEAR_CORE_ABSORPTION_PRE_HPP
 
+#include <cstdint>
 #include <vector>
 
 #include "circuit/quantum_circuit.hpp"

@@ -1,6 +1,8 @@
 #include "core/circuit_to_paulis.hpp"
 
 #include <cassert>
+#include <cstdint>
+#include <utility>
 
 #include "tableau/clifford_tableau.hpp"
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "pauli/pauli_list.hpp"
 

@@ -1,6 +1,8 @@
 #include "core/diagonalization.hpp"
 
 #include <cassert>
+#include <cstdint>
+#include <vector>
 
 namespace quclear {
 

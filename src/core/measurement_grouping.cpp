@@ -1,5 +1,8 @@
 #include "core/measurement_grouping.hpp"
 
+#include <cstdint>
+#include <vector>
+
 namespace quclear {
 
 namespace {

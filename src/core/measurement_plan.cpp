@@ -2,6 +2,10 @@
 
 #include <bit>
 #include <cassert>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
 
 #include "core/measurement_grouping.hpp"
 

@@ -1,6 +1,9 @@
 #include "core/parameterized.hpp"
 
 #include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "transpile/commutative_cancellation.hpp"
 #include "transpile/cx_cancellation.hpp"
@@ -13,7 +16,7 @@ ParameterizedProgram::ParameterizedProgram(
     std::vector<ParameterizedTerm> terms, uint32_t num_parameters,
     const ExtractionConfig &config)
     : numParameters_(num_parameters),
-      extraction_(QuantumCircuit(), QuantumCircuit(), CliffordTableau(0))
+      extraction_(QuantumCircuit(), QuantumCircuit(), CliffordTableau(0), {})
 {
     // Compile with angle = coefficient (i.e. all parameters = 1); the
     // emitted Rz angle is then -2 . sign . coefficient, and binding

@@ -15,6 +15,7 @@
 #define QUCLEAR_CORE_PARAMETERIZED_HPP
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/clifford_extractor.hpp"

@@ -1,6 +1,7 @@
 #include "core/qaoa_reduction.hpp"
 
 #include <cassert>
+#include <cstdint>
 
 #include "tableau/clifford_tableau.hpp"
 

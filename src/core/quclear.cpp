@@ -4,6 +4,9 @@
 #include "transpile/depth_scheduling.hpp"
 #include "transpile/pass_manager.hpp"
 
+#include <utility>
+#include <vector>
+
 namespace quclear {
 
 QuClear::QuClear(QuClearOptions options) : options_(std::move(options)) {}
@@ -33,7 +36,8 @@ QuClear::compileCircuit(const QuantumCircuit &qc) const
         // Entirely Clifford: everything is absorbed.
         ExtractionResult result{
             QuantumCircuit(qc.numQubits()), pauli_program.clifford,
-            CliffordTableau::fromCircuit(pauli_program.clifford.inverse())
+            CliffordTableau::fromCircuit(pauli_program.clifford.inverse()),
+            {}
         };
         return CompiledProgram{ std::move(result) };
     }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace quclear {
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <deque>
 #include <limits>
+#include <utility>
+#include <vector>
 
 namespace quclear {
 

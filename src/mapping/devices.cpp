@@ -1,5 +1,9 @@
 #include "mapping/devices.hpp"
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 namespace quclear {
 
 CouplingMap

@@ -9,6 +9,8 @@
 
 #include "mapping/coupling_map.hpp"
 
+#include <cstdint>
+
 namespace quclear {
 
 /** 65-qubit heavy-hex lattice (IBM Manhattan style, 72 edges). */

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <numeric>
+#include <vector>
 
 namespace quclear {
 

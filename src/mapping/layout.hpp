@@ -6,6 +6,7 @@
 #ifndef QUCLEAR_MAPPING_LAYOUT_HPP
 #define QUCLEAR_MAPPING_LAYOUT_HPP
 
+#include <cstdint>
 #include <vector>
 
 #include "circuit/quantum_circuit.hpp"

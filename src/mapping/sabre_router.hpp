@@ -11,6 +11,7 @@
 #ifndef QUCLEAR_MAPPING_SABRE_ROUTER_HPP
 #define QUCLEAR_MAPPING_SABRE_ROUTER_HPP
 
+#include <cstdint>
 #include <vector>
 
 #include "circuit/quantum_circuit.hpp"

@@ -1,12 +1,16 @@
 #include "pauli/hamiltonian.hpp"
 
 #include <cassert>
-#include <complex>
 #include <cmath>
+#include <complex>
+#include <cstdint>
 #include <iomanip>
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/statevector.hpp"
 

@@ -8,6 +8,7 @@
 #ifndef QUCLEAR_PAULI_HAMILTONIAN_HPP
 #define QUCLEAR_PAULI_HAMILTONIAN_HPP
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -1,6 +1,8 @@
 #include "pauli/pauli_list.hpp"
 
 #include <cassert>
+#include <cstdint>
+#include <vector>
 
 namespace quclear {
 

@@ -7,6 +7,7 @@
 #define QUCLEAR_PAULI_PAULI_LIST_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "pauli/pauli_term.hpp"

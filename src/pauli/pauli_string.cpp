@@ -2,7 +2,10 @@
 
 #include <bit>
 #include <cassert>
+#include <cstdint>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace quclear {
 

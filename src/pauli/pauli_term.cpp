@@ -1,5 +1,8 @@
 #include "pauli/pauli_term.hpp"
 
+#include <string>
+#include <vector>
+
 namespace quclear {
 
 std::vector<PauliTerm>

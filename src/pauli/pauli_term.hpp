@@ -7,6 +7,7 @@
 #define QUCLEAR_PAULI_PAULI_TERM_HPP
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "pauli/pauli_string.hpp"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "pauli/pauli_list.hpp"
 

@@ -1,6 +1,9 @@
 #include "sim/shadows.hpp"
 
 #include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "sim/statevector.hpp"
 

@@ -3,6 +3,9 @@
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace quclear {
 

@@ -1,6 +1,9 @@
 #include "tableau/clifford_tableau.hpp"
 
 #include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace quclear {
 

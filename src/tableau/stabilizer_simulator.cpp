@@ -1,6 +1,9 @@
 #include "tableau/stabilizer_simulator.hpp"
 
 #include <cassert>
+#include <cstdint>
+#include <map>
+#include <utility>
 
 namespace quclear {
 

@@ -1,5 +1,6 @@
 #include "transpile/basis_conversion.hpp"
 
+#include <utility>
 #include <vector>
 
 namespace quclear {

@@ -10,6 +10,8 @@
 
 #include "transpile/pass.hpp"
 
+#include <string>
+
 namespace quclear {
 
 /** Rewrites SWAP and CZ into CX + single-qubit gates. */

@@ -1,5 +1,7 @@
 #include "transpile/commutative_cancellation.hpp"
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace quclear {

@@ -10,6 +10,8 @@
 
 #include "transpile/pass.hpp"
 
+#include <string>
+
 namespace quclear {
 
 /** Cancels CX/CZ pairs separated by commuting gates. */

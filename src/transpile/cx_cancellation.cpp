@@ -1,7 +1,7 @@
 #include "transpile/cx_cancellation.hpp"
 
 #include <cstddef>
-
+#include <utility>
 #include <vector>
 
 namespace quclear {

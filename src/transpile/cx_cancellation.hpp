@@ -8,6 +8,8 @@
 
 #include "transpile/pass.hpp"
 
+#include <string>
+
 namespace quclear {
 
 /** Cancels directly adjacent inverse two-qubit gate pairs. */

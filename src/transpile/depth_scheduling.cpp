@@ -1,6 +1,8 @@
 #include "transpile/depth_scheduling.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "circuit/circuit_stats.hpp"

@@ -14,6 +14,8 @@
 
 #include "transpile/pass.hpp"
 
+#include <string>
+
 namespace quclear {
 
 /** Critical-path list scheduler over the commutation DAG. */

@@ -1,5 +1,7 @@
 #include "transpile/hadamard_rewrite.hpp"
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace quclear {

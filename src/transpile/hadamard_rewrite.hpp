@@ -10,6 +10,8 @@
 
 #include "transpile/pass.hpp"
 
+#include <string>
+
 namespace quclear {
 
 /** Applies H-CX-H pattern rewrites. */

@@ -5,6 +5,10 @@
 #include "transpile/hadamard_rewrite.hpp"
 #include "transpile/single_qubit_fusion.hpp"
 
+#include <cstddef>
+#include <memory>
+#include <utility>
+
 namespace quclear {
 
 void

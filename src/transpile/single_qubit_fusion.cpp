@@ -1,7 +1,9 @@
 #include "transpile/single_qubit_fusion.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 namespace quclear {

@@ -9,6 +9,8 @@
 
 #include "transpile/pass.hpp"
 
+#include <string>
+
 namespace quclear {
 
 /** Fuses and cancels runs of single-qubit gates per qubit. */

@@ -1,8 +1,12 @@
 #include "util/table_printer.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <iomanip>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace quclear {
 

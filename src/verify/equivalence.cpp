@@ -1,6 +1,7 @@
 #include "verify/equivalence.hpp"
 
 #include <cassert>
+#include <string>
 
 #include "sim/statevector.hpp"
 #include "tableau/clifford_tableau.hpp"

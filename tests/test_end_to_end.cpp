@@ -111,8 +111,8 @@ INSTANTIATE_TEST_SUITE_P(
     PaperWorkloads, SimulableBenchmarkTest,
     ::testing::Values("UCC-(2,4)", "UCC-(2,6)", "LiH", "H2O",
                       "LABS-(n10)", "MaxCut-(n10,e12)"),
-    [](const ::testing::TestParamInfo<const char *> &info) {
-        std::string name = info.param;
+    [](const ::testing::TestParamInfo<const char *> &tpi) {
+        std::string name = tpi.param;
         for (char &c : name)
             if (!std::isalnum(static_cast<unsigned char>(c)))
                 c = '_';
@@ -150,8 +150,8 @@ INSTANTIATE_TEST_SUITE_P(QaoaWorkloads, QaoaProbabilityTest,
                          ::testing::Values("MaxCut-(n10,e12)",
                                            "LABS-(n10)"),
                          [](const ::testing::TestParamInfo<const char *>
-                                &info) {
-                             std::string name = info.param;
+                                &tpi) {
+                             std::string name = tpi.param;
                              for (char &c : name)
                                  if (!std::isalnum(
                                          static_cast<unsigned char>(c)))

@@ -283,8 +283,9 @@ TEST(DepthSchedulingTest, ImprovesSharedControlFan)
     DepthScheduling pass;
     const bool changed = pass.run(qc);
     EXPECT_TRUE(circuitsEquivalent(before, qc));
-    if (changed)
+    if (changed) {
         EXPECT_LT(entanglingDepth(qc), entanglingDepth(before));
+    }
 }
 
 TEST(DepthSchedulingTest, NeverIncreasesDepthOnRandomCircuits)
