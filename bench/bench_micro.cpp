@@ -1,10 +1,18 @@
 /**
  * @file
  * google-benchmark microbenchmarks for the classical kernels whose
- * complexity the paper quotes: tableau gate appends (O(n)), Pauli
- * conjugation through a tableau (O(n^2) bound, Sec. V-D), CNOT-tree
- * synthesis, full Clifford Extraction throughput, and CA-Post bitstring
- * remapping (O(mk), Sec. VI-B).
+ * complexity the paper quotes: tableau gate appends (bit-sliced O(n/64)
+ * vs the row-major reference's O(n)), Pauli conjugation through a
+ * tableau (O(n^2) bound, Sec. V-D), CNOT-tree synthesis, full Clifford
+ * Extraction throughput, and CA-Post bitstring remapping (O(mk),
+ * Sec. VI-B).
+ *
+ * The Packed/Reference benchmark pairs measure the bit-sliced engine
+ * against the preserved row-major seed implementation on identical gate
+ * and Pauli streams; CI records them as JSON via
+ *   bench_micro \
+ *     --benchmark_filter='Tableau|Extraction|ExtractorCommutingBlock' \
+ *     --benchmark_out=BENCH_tableau.json --benchmark_out_format=json
  */
 #include <benchmark/benchmark.h>
 
@@ -17,7 +25,8 @@
 #include "mapping/sabre_router.hpp"
 #include "sim/statevector.hpp"
 #include "pauli/pauli_term.hpp"
-#include "tableau/clifford_tableau.hpp"
+#include "tableau/packed_tableau.hpp"
+#include "tableau/reference_tableau.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -46,11 +55,43 @@ randomTerms(uint32_t n, size_t m, uint64_t seed)
     return terms;
 }
 
+/** Deterministic random gate stream shared by the paired benchmarks. */
+std::vector<Gate>
+randomGateStream(uint32_t n, size_t count, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Gate> gates;
+    gates.reserve(count);
+    while (gates.size() < count) {
+        const uint32_t q = static_cast<uint32_t>(rng.uniformInt(n));
+        switch (rng.uniformInt(4)) {
+          case 0: gates.push_back({ GateType::H, q }); break;
+          case 1: gates.push_back({ GateType::S, q }); break;
+          default: {
+            const uint32_t r = static_cast<uint32_t>(rng.uniformInt(n));
+            if (r != q)
+                gates.push_back({ GateType::CX, q, r });
+            break;
+          }
+        }
+    }
+    return gates;
+}
+
+template <typename Tableau>
 void
-BM_TableauAppendCx(benchmark::State &state)
+scrambleTableau(Tableau &t, uint32_t n, uint64_t seed)
+{
+    for (const Gate &g : randomGateStream(n, 4 * n, seed))
+        t.appendGate(g);
+}
+
+template <typename Tableau>
+void
+tableauAppendCx(benchmark::State &state)
 {
     const uint32_t n = static_cast<uint32_t>(state.range(0));
-    CliffordTableau t(n);
+    Tableau t(n);
     Rng rng(1);
     for (auto _ : state) {
         const uint32_t a = static_cast<uint32_t>(rng.uniformInt(n));
@@ -61,27 +102,88 @@ BM_TableauAppendCx(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_TableauAppendCx)->Arg(16)->Arg(64)->Arg(256);
 
 void
-BM_TableauConjugate(benchmark::State &state)
+BM_PackedTableauAppendCx(benchmark::State &state)
+{
+    tableauAppendCx<PackedTableau>(state);
+}
+BENCHMARK(BM_PackedTableauAppendCx)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_ReferenceTableauAppendCx(benchmark::State &state)
+{
+    tableauAppendCx<ReferenceTableau>(state);
+}
+BENCHMARK(BM_ReferenceTableauAppendCx)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+template <typename Tableau>
+void
+tableauConjugate(benchmark::State &state)
 {
     const uint32_t n = static_cast<uint32_t>(state.range(0));
     Rng rng(2);
-    CliffordTableau t(n);
-    for (uint32_t i = 0; i < 4 * n; ++i) {
-        const uint32_t a = static_cast<uint32_t>(rng.uniformInt(n));
-        const uint32_t b = (a + 1 + static_cast<uint32_t>(
-                                        rng.uniformInt(n - 1))) % n;
-        t.appendCX(a, b == a ? (a + 1) % n : b);
-        t.appendH(static_cast<uint32_t>(rng.uniformInt(n)));
-    }
+    Tableau t(n);
+    scrambleTableau(t, n, 2);
     const PauliString p = randomPauli(n, rng);
     for (auto _ : state)
         benchmark::DoNotOptimize(t.conjugate(p));
     state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_TableauConjugate)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_PackedTableauConjugate(benchmark::State &state)
+{
+    tableauConjugate<PackedTableau>(state);
+}
+BENCHMARK(BM_PackedTableauConjugate)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_ReferenceTableauConjugate(benchmark::State &state)
+{
+    tableauConjugate<ReferenceTableau>(state);
+}
+BENCHMARK(BM_ReferenceTableauConjugate)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+/**
+ * The extraction-shaped kernel behind the acceptance criterion: per
+ * iteration, one rotation's worth of tableau work — a basis-layer +
+ * CNOT-tree sized burst of gate appends followed by one term
+ * conjugation — on identical streams for both layouts.
+ */
+template <typename Tableau>
+void
+tableauAppendConjugate(benchmark::State &state)
+{
+    const uint32_t n = static_cast<uint32_t>(state.range(0));
+    Tableau t(n);
+    const auto gates = randomGateStream(n, 4096, 3);
+    Rng rng(4);
+    const PauliString p = randomPauli(n, rng);
+    size_t g = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 16; ++i) {
+            t.appendGate(gates[g]);
+            g = (g + 1) % gates.size();
+        }
+        benchmark::DoNotOptimize(t.conjugate(p));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_PackedTableauAppendConjugate(benchmark::State &state)
+{
+    tableauAppendConjugate<PackedTableau>(state);
+}
+BENCHMARK(BM_PackedTableauAppendConjugate)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_ReferenceTableauAppendConjugate(benchmark::State &state)
+{
+    tableauAppendConjugate<ReferenceTableau>(state);
+}
+BENCHMARK(BM_ReferenceTableauAppendConjugate)->Arg(64)->Arg(128)->Arg(256);
 
 void
 BM_TreeSynthesis(benchmark::State &state)
@@ -98,7 +200,7 @@ BM_TreeSynthesis(benchmark::State &state)
     for (auto _ : state) {
         CliffordTableau acc(n);
         QuantumCircuit tree(n);
-        TreeSynthesizer synth(acc, tree, { &look }, {});
+        TreeSynthesizer synth(acc, tree, { look }, {});
         benchmark::DoNotOptimize(synth.synthesize(current.support()));
     }
     state.SetItemsProcessed(state.iterations());
@@ -119,7 +221,36 @@ BM_CliffordExtraction(benchmark::State &state)
 BENCHMARK(BM_CliffordExtraction)
     ->Args({ 8, 64 })
     ->Args({ 16, 256 })
-    ->Args({ 20, 512 });
+    ->Args({ 20, 512 })
+    ->Args({ 64, 256 })
+    ->Args({ 128, 256 });
+
+/**
+ * One commuting block at scale: the conjugation-cache + index-list
+ * find_next_pauli path isolated from tree synthesis lookahead effects
+ * (Z-only terms always commute, so the whole set is one block).
+ */
+void
+BM_ExtractorCommutingBlock(benchmark::State &state)
+{
+    const uint32_t n = static_cast<uint32_t>(state.range(0));
+    const size_t m = static_cast<size_t>(state.range(1));
+    Rng rng(11);
+    std::vector<PauliTerm> terms;
+    while (terms.size() < m) {
+        PauliString p(n);
+        for (uint32_t q = 0; q < n; ++q)
+            if (rng.bernoulli(0.25))
+                p.setOp(q, PauliOp::Z);
+        if (!p.isIdentity())
+            terms.emplace_back(std::move(p), rng.uniformReal(-1, 1));
+    }
+    const CliffordExtractor extractor;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(extractor.run(terms));
+    state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_ExtractorCommutingBlock)->Args({ 64, 128 })->Args({ 128, 128 });
 
 void
 BM_AbsorbObservables(benchmark::State &state)

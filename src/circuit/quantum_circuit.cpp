@@ -40,26 +40,31 @@ QuantumCircuit::inverse() const
 }
 
 void
+applyGateToPauli(PauliString &p, const Gate &g)
+{
+    switch (g.type) {
+      case GateType::H:    p.applyH(g.q0); break;
+      case GateType::S:    p.applyS(g.q0); break;
+      case GateType::Sdg:  p.applySdg(g.q0); break;
+      case GateType::X:    p.applyX(g.q0); break;
+      case GateType::Y:    p.applyY(g.q0); break;
+      case GateType::Z:    p.applyZ(g.q0); break;
+      case GateType::SX:   p.applySqrtX(g.q0); break;
+      case GateType::SXdg: p.applySqrtXdg(g.q0); break;
+      case GateType::CX:   p.applyCX(g.q0, g.q1); break;
+      case GateType::CZ:   p.applyCZ(g.q0, g.q1); break;
+      case GateType::Swap: p.applySwap(g.q0, g.q1); break;
+      default:
+        assert(false && "Pauli conjugation requires a Clifford gate");
+    }
+}
+
+void
 QuantumCircuit::conjugatePauli(PauliString &p) const
 {
     assert(p.numQubits() == numQubits_);
-    for (const Gate &g : gates_) {
-        switch (g.type) {
-          case GateType::H:    p.applyH(g.q0); break;
-          case GateType::S:    p.applyS(g.q0); break;
-          case GateType::Sdg:  p.applySdg(g.q0); break;
-          case GateType::X:    p.applyX(g.q0); break;
-          case GateType::Y:    p.applyY(g.q0); break;
-          case GateType::Z:    p.applyZ(g.q0); break;
-          case GateType::SX:   p.applySqrtX(g.q0); break;
-          case GateType::SXdg: p.applySqrtXdg(g.q0); break;
-          case GateType::CX:   p.applyCX(g.q0, g.q1); break;
-          case GateType::CZ:   p.applyCZ(g.q0, g.q1); break;
-          case GateType::Swap: p.applySwap(g.q0, g.q1); break;
-          default:
-            assert(false && "conjugatePauli requires a Clifford circuit");
-        }
-    }
+    for (const Gate &g : gates_)
+        applyGateToPauli(p, g);
 }
 
 size_t

@@ -21,6 +21,13 @@ namespace quclear {
 
 class PauliString;
 
+/**
+ * Single-gate Heisenberg update P -> g P g~ of a Pauli string. The one
+ * Clifford-gate dispatch shared by circuit conjugation, the extractor's
+ * conjugation cache, and the stabilizer simulator.
+ */
+void applyGateToPauli(PauliString &p, const Gate &g);
+
 /** Ordered gate list over a fixed number of qubits. */
 class QuantumCircuit
 {

@@ -24,24 +24,22 @@ absorbObservables(const ExtractionResult &extraction,
         a.sign = a.transformed.sign();
 
         a.basisChange = QuantumCircuit(n);
-        for (uint32_t q = 0; q < n; ++q) {
-            switch (a.transformed.op(q)) {
+        // Word-level support walk: identity columns are skipped 64 at a
+        // time instead of probing every qubit.
+        a.transformed.forEachSupport([&](uint32_t q, PauliOp op) {
+            switch (op) {
               case PauliOp::X:
                 a.basisChange.h(q);
-                a.measuredQubits.push_back(q);
                 break;
               case PauliOp::Y:
                 a.basisChange.sdg(q);
                 a.basisChange.h(q);
-                a.measuredQubits.push_back(q);
                 break;
-              case PauliOp::Z:
-                a.measuredQubits.push_back(q);
-                break;
-              case PauliOp::I:
+              default:
                 break;
             }
-        }
+            a.measuredQubits.push_back(q);
+        });
         absorbed.push_back(std::move(a));
     }
     return absorbed;

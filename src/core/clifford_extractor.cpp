@@ -1,6 +1,5 @@
 #include "core/clifford_extractor.hpp"
 
-#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <utility>
@@ -36,44 +35,80 @@ CliffordExtractor::run(const std::vector<PauliTerm> &terms) const
             blocks.push_back({ i });
     }
 
-    // Flattened order being committed; used to assemble lookahead lists
-    // that cross block boundaries.
+    // Conjugation cache: each block's terms are conjugated through the
+    // accumulated tableau ONCE at block entry, then kept exact by
+    // replaying every committed gate onto the still-pending entries
+    // (a homomorphism: acc' = g.acc implies acc'(P) = g(acc(P))). This
+    // replaces the per-pick re-conjugation of every candidate in
+    // find_next_pauli and the rotation-root recheck — the old quadratic
+    // O(m^2 . n . w) per block becomes O(m . n . w / 64 + gates . m).
+    std::vector<PauliString> conj;    // cache, indexed by block position
+    std::vector<uint32_t> order_next; // singly-linked successor list
+    std::vector<uint32_t> support;    // reusable support scratch
+    PauliString cand_scratch;         // reusable cost-model buffer
+
     for (size_t b = 0; b < blocks.size(); ++b) {
-        auto &block = blocks[b];
-        for (size_t pos = 0; pos < block.size(); ++pos) {
+        const auto &block = blocks[b];
+        const auto m = static_cast<uint32_t>(block.size());
+
+        conj.clear();
+        conj.reserve(m);
+        for (size_t idx : block)
+            conj.push_back(acc.conjugate(terms[idx].pauli));
+
+        // Index-list order over block positions: reordering a pick is an
+        // O(1) unlink + relink instead of the old vector erase/insert
+        // shuffle; position m is the end sentinel.
+        order_next.resize(m);
+        for (uint32_t i = 0; i < m; ++i)
+            order_next[i] = i + 1;
+
+        // Replay a committed gate onto the pending cache entries (the
+        // current term plus everything still queued after it).
+        auto updatePending = [&](uint32_t from_pos, const Gate &g) {
+            for (uint32_t j = from_pos; j != m; j = order_next[j])
+                applyGateToPauli(conj[j], g);
+        };
+
+        for (uint32_t pos = 0; pos != m; pos = order_next[pos]) {
             const size_t curr_idx = block[pos];
-            PauliString curr = acc.conjugate(terms[curr_idx].pauli);
+            PauliString &curr = conj[pos];
             if (curr.isIdentity())
                 continue; // global phase only
 
             // --- find_next_pauli: choose the successor inside the block
             // that ends up cheapest after extracting this block's
-            // (non-recursive) Clifford. ---
-            if (config_.useCommutingBlocks && pos + 2 < block.size()) {
-                size_t best_j = pos + 1;
+            // (non-recursive) Clifford. Candidates come straight from
+            // the cache — no re-conjugation. ---
+            if (config_.useCommutingBlocks && order_next[pos] != m &&
+                order_next[order_next[pos]] != m) {
+                uint32_t best_j = order_next[pos];
+                uint32_t best_prev = pos;
                 uint32_t best_cost = ~0u;
-                for (size_t j = pos + 1; j < block.size(); ++j) {
-                    PauliString cand = acc.conjugate(terms[block[j]].pauli);
-                    uint32_t cost = nonRecursiveExtractionCost(curr, cand);
+                uint32_t prev = pos;
+                for (uint32_t j = order_next[pos]; j != m;
+                     prev = j, j = order_next[j]) {
+                    const uint32_t cost = nonRecursiveExtractionCost(
+                        curr, conj[j], cand_scratch);
                     if (cost < best_cost) {
                         best_cost = cost;
                         best_j = j;
+                        best_prev = prev;
                     }
                 }
-                if (best_j != pos + 1) {
-                    const size_t chosen = block[best_j];
-                    block.erase(block.begin() +
-                                static_cast<std::ptrdiff_t>(best_j));
-                    block.insert(block.begin() +
-                                 static_cast<std::ptrdiff_t>(pos + 1), chosen);
+                if (best_j != order_next[pos]) {
+                    order_next[best_prev] = order_next[best_j];
+                    order_next[best_j] = order_next[pos];
+                    order_next[pos] = best_j;
                 }
             }
 
             // --- Single-qubit basis layer (fixed by the Pauli string). ---
             QuantumCircuit vj(n);
-            const auto support = curr.support();
-            for (uint32_t q : support) {
-                switch (curr.op(q)) {
+            support.clear();
+            curr.forEachSupport([&](uint32_t q, PauliOp op) {
+                support.push_back(q);
+                switch (op) {
                   case PauliOp::X:
                     vj.h(q);
                     break;
@@ -84,17 +119,20 @@ CliffordExtractor::run(const std::vector<PauliTerm> &terms) const
                   default:
                     break;
                 }
-            }
+            });
             acc.appendCircuit(vj);
             opt.appendCircuit(vj);
+            for (const Gate &g : vj.gates())
+                updatePending(pos, g);
 
-            // --- Lookahead: upcoming Paulis in committed order. ---
-            std::vector<const PauliString *> lookahead;
-            for (size_t j = pos + 1;
-                 j < block.size() &&
-                 lookahead.size() < config_.tree.maxLookahead;
-                 ++j) {
-                lookahead.push_back(&terms[block[j]].pauli);
+            // --- Lookahead: upcoming Paulis in committed order, already
+            // conjugated (cache copies within the block; fresh tableau
+            // conjugations only across the block boundary). ---
+            std::vector<PauliString> lookahead;
+            for (uint32_t j = order_next[pos];
+                 j != m && lookahead.size() < config_.tree.maxLookahead;
+                 j = order_next[j]) {
+                lookahead.push_back(conj[j]);
             }
             for (size_t bb = b + 1;
                  bb < blocks.size() &&
@@ -103,7 +141,7 @@ CliffordExtractor::run(const std::vector<PauliTerm> &terms) const
                 for (size_t idx : blocks[bb]) {
                     if (lookahead.size() >= config_.tree.maxLookahead)
                         break;
-                    lookahead.push_back(&terms[idx].pauli);
+                    lookahead.push_back(acc.conjugate(terms[idx].pauli));
                 }
             }
 
@@ -114,11 +152,15 @@ CliffordExtractor::run(const std::vector<PauliTerm> &terms) const
             const uint32_t root = synth.synthesize(support);
             opt.appendCircuit(tree);
             vj.appendCircuit(tree);
+            for (const Gate &g : tree.gates())
+                updatePending(pos, g);
 
             // --- Rotation on the parity root. ---
-            // The reduced Pauli is +-Z_root; a negative sign flips the
-            // rotation angle: e^{i(-P)t} = e^{iP(-t)}.
-            PauliString reduced = acc.conjugate(terms[curr_idx].pauli);
+            // The cache kept `curr` conjugated through the basis layer
+            // and the tree, so it IS the reduced Pauli +-Z_root; a
+            // negative sign flips the rotation angle:
+            // e^{i(-P)t} = e^{iP(-t)}.
+            const PauliString &reduced = curr;
             assert(reduced.weight() == 1 && reduced.op(root) == PauliOp::Z);
             const double t_eff = terms[curr_idx].angle * reduced.sign();
             // e^{iZt} = Rz(-2t) with Rz(theta) = exp(-i theta Z / 2).

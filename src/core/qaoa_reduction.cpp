@@ -60,12 +60,18 @@ reduceToHCnot(const QuantumCircuit &tail)
 
     PauliString r(n);
     for (uint32_t q = 0; q < n; ++q) {
-        assert(t.imageX(q).equalsUpToPhase(tref.imageX(q)));
-        assert(t.imageZ(q).equalsUpToPhase(tref.imageZ(q)));
-        if (t.imageZ(q).phase() != tref.imageZ(q).phase())
-            r.mulRight(tref.imageX(q)); // alpha_q = 1
-        if (t.imageX(q).phase() != tref.imageX(q).phase())
-            r.mulRight(tref.imageZ(q)); // beta_q = 1
+        // imageX/imageZ materialize a row from the bit-sliced columns;
+        // bind each once per qubit.
+        const PauliString tx = t.imageX(q);
+        const PauliString tz = t.imageZ(q);
+        const PauliString refx = tref.imageX(q);
+        const PauliString refz = tref.imageZ(q);
+        assert(tx.equalsUpToPhase(refx));
+        assert(tz.equalsUpToPhase(refz));
+        if (tz.phase() != refz.phase())
+            r.mulRight(refx); // alpha_q = 1
+        if (tx.phase() != refx.phase())
+            r.mulRight(refz); // beta_q = 1
     }
     for (uint32_t q = 0; q < n; ++q)
         if (r.xBit(q))

@@ -34,7 +34,7 @@ cxWeightDelta(const PauliString &p, uint32_t control, uint32_t target)
 }
 
 TreeSynthesizer::TreeSynthesizer(CliffordTableau &acc, QuantumCircuit &tree,
-                                 std::vector<const PauliString *> lookahead,
+                                 std::vector<PauliString> lookahead,
                                  const TreeSynthesisConfig &config)
     : acc_(acc), tree_(tree), lookahead_(std::move(lookahead)),
       config_(config)
@@ -46,7 +46,9 @@ TreeSynthesizer::lookaheadAt(uint32_t depth, PauliString &out) const
 {
     if (depth >= config_.maxLookahead || depth >= lookahead_.size())
         return false;
-    out = acc_.conjugate(*lookahead_[depth]);
+    // The cached string already equals acc_.conjugate(original term):
+    // emitCx keeps every entry in lockstep with the tableau.
+    out = lookahead_[depth];
     return true;
 }
 
@@ -55,6 +57,8 @@ TreeSynthesizer::emitCx(uint32_t control, uint32_t target)
 {
     tree_.cx(control, target);
     acc_.appendCX(control, target);
+    for (PauliString &p : lookahead_)
+        p.applyCX(control, target);
 }
 
 uint32_t
@@ -225,13 +229,20 @@ TreeSynthesizer::exhaustive(const std::vector<uint32_t> &idxs)
 
     for (const Gate &g : best_seq)
         emitCx(g.q0, g.q1);
-    // The surviving qubit is the one never used as a control.
-    uint64_t used = 0;
-    for (const Gate &g : best_seq)
-        used |= 1ULL << g.q0;
-    for (uint32_t q : idxs)
-        if (!((used >> q) & 1))
+    // The surviving qubit is the one never used as a control. (Sets
+    // here are tiny — at most exhaustiveThreshold — so a linear scan
+    // beats a bitmask, which would also cap the qubit index at 64.)
+    for (uint32_t q : idxs) {
+        bool used_as_control = false;
+        for (const Gate &g : best_seq) {
+            if (g.q0 == q) {
+                used_as_control = true;
+                break;
+            }
+        }
+        if (!used_as_control)
             return q;
+    }
     assert(false && "no root survived the merge sequence");
     return idxs.back();
 }
@@ -339,14 +350,16 @@ TreeSynthesizer::synthesize(const std::vector<uint32_t> &tree_idxs)
 
 uint32_t
 nonRecursiveExtractionCost(const PauliString &current,
-                           const PauliString &candidate)
+                           const PauliString &candidate,
+                           PauliString &scratch)
 {
-    PauliString cand = candidate;
+    PauliString &cand = scratch;
+    cand = candidate; // vector assignment reuses the scratch capacity
 
-    // Hypothetical basis layer of the current Pauli.
-    const auto support = current.support();
-    for (uint32_t q : support) {
-        switch (current.op(q)) {
+    // Hypothetical basis layer of the current Pauli (word-level walk; no
+    // support vector is materialized).
+    current.forEachSupport([&](uint32_t q, PauliOp op) {
+        switch (op) {
           case PauliOp::X:
             cand.applyH(q);
             break;
@@ -357,29 +370,35 @@ nonRecursiveExtractionCost(const PauliString &current,
           default:
             break;
         }
-    }
+    });
 
     // Non-recursive tree: group the support by the candidate's operator,
     // chain each group in index order, then connect roots greedily.
-    std::array<std::vector<uint32_t>, 4> groups;
-    for (uint32_t q : support)
-        groups[static_cast<uint8_t>(cand.op(q))].push_back(q);
+    // A single ascending walk suffices: chaining CX(prev, q) only
+    // touches bits at qubits <= q already classified, so each qubit's
+    // group is read before any chain CX can disturb it, and per-group
+    // running roots replace the materialized group vectors.
+    std::array<uint32_t, 4> last;
+    last.fill(~0u);
+    current.forEachSupport([&](uint32_t q, PauliOp) {
+        const auto g = static_cast<uint8_t>(cand.op(q));
+        if (last[g] != ~0u)
+            cand.applyCX(last[g], q);
+        last[g] = q;
+    });
 
-    std::vector<uint32_t> roots;
-    for (const auto &group : groups) {
-        if (group.empty())
-            continue;
-        for (size_t i = 0; i + 1 < group.size(); ++i)
-            cand.applyCX(group[i], group[i + 1]);
-        roots.push_back(group.back());
-    }
+    std::array<uint32_t, 4> remaining{};
+    size_t num_roots = 0;
+    // Root order must match the reference grouping: I, X, Z, Y.
+    for (uint32_t root : last)
+        if (root != ~0u)
+            remaining[num_roots++] = root;
 
-    std::vector<uint32_t> remaining = roots;
-    while (remaining.size() > 1) {
+    while (num_roots > 1) {
         int best_delta = 3;
         size_t best_c = 0, best_t = 1;
-        for (size_t ci = 0; ci < remaining.size(); ++ci) {
-            for (size_t ti = 0; ti < remaining.size(); ++ti) {
+        for (size_t ci = 0; ci < num_roots; ++ci) {
+            for (size_t ti = 0; ti < num_roots; ++ti) {
                 if (ci == ti)
                     continue;
                 int delta =
@@ -392,9 +411,19 @@ nonRecursiveExtractionCost(const PauliString &current,
             }
         }
         cand.applyCX(remaining[best_c], remaining[best_t]);
-        remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best_c));
+        for (size_t i = best_c; i + 1 < num_roots; ++i)
+            remaining[i] = remaining[i + 1];
+        --num_roots;
     }
     return cand.weight();
+}
+
+uint32_t
+nonRecursiveExtractionCost(const PauliString &current,
+                           const PauliString &candidate)
+{
+    PauliString scratch;
+    return nonRecursiveExtractionCost(current, candidate, scratch);
 }
 
 } // namespace quclear

@@ -57,9 +57,14 @@ struct TreeSynthesisConfig
  * Synthesizes the CNOT tree of one Pauli rotation block.
  *
  * Emitted CNOTs are appended both to a tree circuit (which the extractor
- * copies into the optimized circuit) and to the extraction tableau, so
- * lookahead Paulis are always conjugated through every gate emitted so
- * far — prior blocks' Cliffords plus the current partial tree.
+ * copies into the optimized circuit) and to the extraction tableau. The
+ * lookahead Paulis arrive PRE-conjugated through the extraction tableau
+ * (the extractor's conjugation cache provides them in O(1)) and are then
+ * kept up to date incrementally: every emitted CNOT is applied to each
+ * cached lookahead string in place, so a lookahead read is always equal
+ * to conjugating the original term through every gate emitted so far —
+ * prior blocks' Cliffords plus the current partial tree — without ever
+ * re-running a full tableau conjugation.
  */
 class TreeSynthesizer
 {
@@ -70,11 +75,12 @@ class TreeSynthesizer
      * @param tree receives the emitted CNOT gates
      * @param lookahead upcoming Pauli strings in planned circuit order
      *        (lookahead[0] is the rotation immediately after the current
-     *        one); conjugated through @p acc on demand
+     *        one), already conjugated through @p acc; the synthesizer
+     *        takes ownership and updates them per emitted CNOT
      * @param config algorithm options
      */
     TreeSynthesizer(CliffordTableau &acc, QuantumCircuit &tree,
-                    std::vector<const PauliString *> lookahead,
+                    std::vector<PauliString> lookahead,
                     const TreeSynthesisConfig &config);
 
     /**
@@ -92,12 +98,13 @@ class TreeSynthesizer
     uint32_t connectRoots(const std::vector<uint32_t> &roots, uint32_t depth);
     void emitCx(uint32_t control, uint32_t target);
 
-    /** Conjugated lookahead Pauli at @p depth, or nullptr past the end. */
+    /** Copy of the cached conjugated lookahead Pauli at @p depth. */
     bool lookaheadAt(uint32_t depth, PauliString &out) const;
 
     CliffordTableau &acc_;
     QuantumCircuit &tree_;
-    std::vector<const PauliString *> lookahead_;
+    /** Pre-conjugated lookahead, updated in place on every emitCx. */
+    std::vector<PauliString> lookahead_;
     TreeSynthesisConfig config_;
 };
 
@@ -112,12 +119,22 @@ int cxWeightDelta(const PauliString &p, uint32_t control, uint32_t target);
  * Cheap cost model for find_next_pauli (Sec. V-C): the weight of
  * @p candidate after extracting the current Pauli's Clifford, where the
  * tree is synthesized non-recursively for the candidate itself.
+ * Allocation-free: supports are walked word-level (forEachSupport) and
+ * chains are built with per-group running roots instead of group
+ * vectors.
  *
  * @param current the current Pauli, already conjugated through the
  *        extraction tableau
  * @param candidate the candidate next Pauli, likewise already conjugated
+ * @param scratch working copy buffer, overwritten with @p candidate;
+ *        pass the same object across candidates to reuse its capacity
  * @return candidate weight after the hypothetical extraction
  */
+uint32_t nonRecursiveExtractionCost(const PauliString &current,
+                                    const PauliString &candidate,
+                                    PauliString &scratch);
+
+/** Convenience overload with an internal scratch buffer. */
 uint32_t nonRecursiveExtractionCost(const PauliString &current,
                                     const PauliString &candidate);
 

@@ -14,7 +14,9 @@
 #ifndef QUCLEAR_PAULI_PAULI_STRING_HPP
 #define QUCLEAR_PAULI_PAULI_STRING_HPP
 
+#include <bit>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -77,6 +79,37 @@ class PauliString
     /** Indices of qubits with a non-identity operator, ascending. */
     std::vector<uint32_t> support() const;
 
+    /** @name Word-level access (bit-sliced tableau engine, hot loops).
+     * The packed x/z words cover qubits [64w, 64w+63]; bits past
+     * numQubits() are always zero.
+     * @{ */
+    uint32_t numWords() const { return static_cast<uint32_t>(x_.size()); }
+    std::span<const uint64_t> xWords() const { return x_; }
+    std::span<const uint64_t> zWords() const { return z_; }
+    /** @} */
+
+    /**
+     * Visit every non-identity position in ascending qubit order without
+     * materializing a support vector: fn(qubit, op). Allocation-free; the
+     * extraction hot path uses this instead of support().
+     */
+    template <typename Fn>
+    void forEachSupport(Fn &&fn) const
+    {
+        for (size_t w = 0; w < x_.size(); ++w) {
+            uint64_t bits = x_[w] | z_[w];
+            while (bits) {
+                const int b = std::countr_zero(bits);
+                bits &= bits - 1;
+                const uint8_t code =
+                    static_cast<uint8_t>(((x_[w] >> b) & 1) |
+                                         (((z_[w] >> b) & 1) << 1));
+                fn(static_cast<uint32_t>(w * 64 + static_cast<size_t>(b)),
+                   static_cast<PauliOp>(code));
+            }
+        }
+    }
+
     /** True iff every position is the identity (phase ignored). */
     bool isIdentity() const;
 
@@ -128,8 +161,6 @@ class PauliString
     size_t hash() const;
 
   private:
-    friend class CliffordTableau;
-
     static uint32_t wordsFor(uint32_t n) { return (n + 63) / 64; }
 
     uint32_t numQubits_;

@@ -1,16 +1,21 @@
 /**
  * @file
- * Aaronson-Gottesman style unitary tableau for Clifford circuits.
+ * Unitary Clifford tableau — public facade over the bit-sliced engine.
  *
- * The tableau stores, for an accumulated Clifford unitary U, the images of
- * the 2n Pauli generators under conjugation:
+ * The tableau stores, for an accumulated Clifford unitary U, the images
+ * of the 2n Pauli generators under conjugation:
  *
  *     rowX[q] = U X_q U~        rowZ[q] = U Z_q U~
  *
- * with exact sign tracking. Appending a gate g replaces U by g.U, which
- * updates every row by the single-gate Heisenberg rule — O(n) time per
- * gate. Conjugating an arbitrary Pauli string is O(n . w) where w is the
- * string's weight, matching the O(n^2) bound quoted in Sec. V-D.
+ * with exact sign tracking. Appending a gate g replaces U by g.U.
+ *
+ * Since the bit-sliced refactor, all storage and arithmetic live in
+ * PackedTableau (column-major, word-parallel; see packed_tableau.hpp for
+ * the layout and per-operation complexity). This class is a zero-cost
+ * inline facade that preserves the original API for every consumer —
+ * the extractor, absorption, circuit_to_paulis, verification, and the
+ * baselines. The one signature change from the row-major era: imageX /
+ * imageZ materialize a row and therefore return by value.
  *
  * This is the classical data structure behind both Clifford Extraction
  * (updating Pauli strings through already-extracted Cliffords) and
@@ -20,10 +25,11 @@
 #define QUCLEAR_TABLEAU_CLIFFORD_TABLEAU_HPP
 
 #include <cstdint>
-#include <vector>
+#include <utility>
 
 #include "circuit/quantum_circuit.hpp"
 #include "pauli/pauli_string.hpp"
+#include "tableau/packed_tableau.hpp"
 
 namespace quclear {
 
@@ -32,33 +38,39 @@ class CliffordTableau
 {
   public:
     /** Identity tableau on n qubits. */
-    explicit CliffordTableau(uint32_t num_qubits);
+    explicit CliffordTableau(uint32_t num_qubits) : impl_(num_qubits) {}
 
     /** Build the tableau of an entire Clifford circuit. */
-    static CliffordTableau fromCircuit(const QuantumCircuit &qc);
+    static CliffordTableau fromCircuit(const QuantumCircuit &qc)
+    {
+        return CliffordTableau(PackedTableau::fromCircuit(qc));
+    }
 
-    uint32_t numQubits() const { return numQubits_; }
+    uint32_t numQubits() const { return impl_.numQubits(); }
 
-    /** Image of X_q under conjugation by the accumulated unitary. */
-    const PauliString &imageX(uint32_t q) const { return rowX_[q]; }
+    /** Image of X_q, materialized from the bit-sliced columns. */
+    PauliString imageX(uint32_t q) const { return impl_.imageX(q); }
 
-    /** Image of Z_q under conjugation by the accumulated unitary. */
-    const PauliString &imageZ(uint32_t q) const { return rowZ_[q]; }
+    /** Image of Z_q, materialized from the bit-sliced columns. */
+    PauliString imageZ(uint32_t q) const { return impl_.imageZ(q); }
 
-    /** @name Append a gate: U <- g . U. @{ */
-    void appendH(uint32_t q);
-    void appendS(uint32_t q);
-    void appendSdg(uint32_t q);
-    void appendX(uint32_t q);
-    void appendY(uint32_t q);
-    void appendZ(uint32_t q);
-    void appendSqrtX(uint32_t q);
-    void appendSqrtXdg(uint32_t q);
-    void appendCX(uint32_t control, uint32_t target);
-    void appendCZ(uint32_t a, uint32_t b);
-    void appendSwap(uint32_t a, uint32_t b);
-    void appendGate(const Gate &g);
-    void appendCircuit(const QuantumCircuit &qc);
+    /** @name Append a gate: U <- g . U. O(n/64) word ops per gate. @{ */
+    void appendH(uint32_t q) { impl_.appendH(q); }
+    void appendS(uint32_t q) { impl_.appendS(q); }
+    void appendSdg(uint32_t q) { impl_.appendSdg(q); }
+    void appendX(uint32_t q) { impl_.appendX(q); }
+    void appendY(uint32_t q) { impl_.appendY(q); }
+    void appendZ(uint32_t q) { impl_.appendZ(q); }
+    void appendSqrtX(uint32_t q) { impl_.appendSqrtX(q); }
+    void appendSqrtXdg(uint32_t q) { impl_.appendSqrtXdg(q); }
+    void appendCX(uint32_t control, uint32_t target)
+    {
+        impl_.appendCX(control, target);
+    }
+    void appendCZ(uint32_t a, uint32_t b) { impl_.appendCZ(a, b); }
+    void appendSwap(uint32_t a, uint32_t b) { impl_.appendSwap(a, b); }
+    void appendGate(const Gate &g) { impl_.appendGate(g); }
+    void appendCircuit(const QuantumCircuit &qc) { impl_.appendCircuit(qc); }
     /** @} */
 
     /**
@@ -67,43 +79,58 @@ class CliffordTableau
      * Paulis — used to maintain *inverse* tableaux incrementally when a
      * circuit is consumed front to back (see circuit_to_paulis).
      */
-    void prependGate(const Gate &g);
+    void prependGate(const Gate &g) { impl_.prependGate(g); }
 
     /**
      * Conjugate a Pauli string: returns U P U~ with exact phase.
      * @param p a Pauli string on the same qubit count
      */
-    PauliString conjugate(const PauliString &p) const;
+    PauliString conjugate(const PauliString &p) const
+    {
+        return impl_.conjugate(p);
+    }
 
     /** True iff this tableau is the identity map (all signs +). */
-    bool isIdentity() const;
+    bool isIdentity() const { return impl_.isIdentity(); }
 
     /**
      * Compose with another tableau: U <- other.U, i.e. the returned map
      * first applies this tableau's conjugation, then @p other's.
      */
-    void composeWith(const CliffordTableau &other);
+    void composeWith(const CliffordTableau &other)
+    {
+        impl_.composeWith(other.impl_);
+    }
 
     /** The inverse tableau (U~), via synthesis + inverted replay. */
-    CliffordTableau inverse() const;
+    CliffordTableau inverse() const
+    {
+        return CliffordTableau(impl_.inverse());
+    }
 
     /**
      * Synthesize a Clifford circuit implementing this tableau (canonical
      * H/S/CX decomposition by symplectic Gaussian elimination). The
      * returned circuit C satisfies fromCircuit(C) == *this.
      */
-    QuantumCircuit toCircuit() const;
+    QuantumCircuit toCircuit() const { return impl_.toCircuit(); }
 
-    bool operator==(const CliffordTableau &other) const;
+    /** The underlying bit-sliced engine (word-level consumers). */
+    const PackedTableau &packed() const { return impl_; }
+
+    bool operator==(const CliffordTableau &other) const
+    {
+        return impl_ == other.impl_;
+    }
     bool operator!=(const CliffordTableau &other) const
     {
         return !(*this == other);
     }
 
   private:
-    uint32_t numQubits_;
-    std::vector<PauliString> rowX_;
-    std::vector<PauliString> rowZ_;
+    explicit CliffordTableau(PackedTableau impl) : impl_(std::move(impl)) {}
+
+    PackedTableau impl_;
 };
 
 } // namespace quclear

@@ -1,0 +1,574 @@
+#include "tableau/packed_tableau.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace quclear {
+
+namespace {
+
+/** Spread the low 32 bits of @p v into the even bit positions. */
+inline uint64_t
+spreadBits(uint64_t v)
+{
+    v &= 0xFFFFFFFFULL;
+    v = (v | (v << 16)) & 0x0000FFFF0000FFFFULL;
+    v = (v | (v << 8)) & 0x00FF00FF00FF00FFULL;
+    v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+    v = (v | (v << 2)) & 0x3333333333333333ULL;
+    v = (v | (v << 1)) & 0x5555555555555555ULL;
+    return v;
+}
+
+/**
+ * Exclusive prefix-parity scan: bit l of the result is the parity of
+ * bits 0..l-1 of @p v.
+ */
+inline uint64_t
+prefixParityExclusive(uint64_t v)
+{
+    v ^= v << 1;
+    v ^= v << 2;
+    v ^= v << 4;
+    v ^= v << 8;
+    v ^= v << 16;
+    v ^= v << 32;
+    return v << 1;
+}
+
+inline uint32_t
+popcnt(uint64_t v)
+{
+    return static_cast<uint32_t>(std::popcount(v));
+}
+
+/**
+ * Selected-row count below which the gather/multiply conjugation path
+ * wins over the column-parallel one: gathering a row costs O(n) bit
+ * extractions, the dense pass O(n . 2n/64) word ops regardless of
+ * weight, so the crossover grows linearly with n.
+ */
+inline uint32_t
+sparseConjugateRowLimit(uint32_t num_qubits)
+{
+    return num_qubits / 16 > 6 ? num_qubits / 16 : 6;
+}
+
+} // namespace
+
+PackedTableau::PackedTableau(uint32_t num_qubits)
+    : numQubits_(num_qubits), words_(wordsForRows(num_qubits)),
+      x_(static_cast<size_t>(num_qubits) * words_, 0),
+      z_(static_cast<size_t>(num_qubits) * words_, 0),
+      signs_(words_, 0)
+{
+    // Identity: rowX_q = +X_q (row 2q), rowZ_q = +Z_q (row 2q+1).
+    for (uint32_t q = 0; q < num_qubits; ++q) {
+        const uint32_t rx = 2 * q;
+        const uint32_t rz = 2 * q + 1;
+        x_[q * words_ + (rx >> 6)] |= 1ULL << (rx & 63);
+        z_[q * words_ + (rz >> 6)] |= 1ULL << (rz & 63);
+    }
+}
+
+PackedTableau
+PackedTableau::fromCircuit(const QuantumCircuit &qc)
+{
+    PackedTableau t(qc.numQubits());
+    t.appendCircuit(qc);
+    return t;
+}
+
+void
+PackedTableau::appendH(uint32_t q)
+{
+    uint64_t *xc = &x_[q * words_];
+    uint64_t *zc = &z_[q * words_];
+    for (uint32_t w = 0; w < words_; ++w) {
+        // H: X <-> Z, Y -> -Y.
+        signs_[w] ^= xc[w] & zc[w];
+        std::swap(xc[w], zc[w]);
+    }
+}
+
+void
+PackedTableau::appendS(uint32_t q)
+{
+    uint64_t *xc = &x_[q * words_];
+    uint64_t *zc = &z_[q * words_];
+    for (uint32_t w = 0; w < words_; ++w) {
+        // S: X -> Y, Y -> -X, Z -> Z.
+        signs_[w] ^= xc[w] & zc[w];
+        zc[w] ^= xc[w];
+    }
+}
+
+void
+PackedTableau::appendSdg(uint32_t q)
+{
+    uint64_t *xc = &x_[q * words_];
+    uint64_t *zc = &z_[q * words_];
+    for (uint32_t w = 0; w < words_; ++w) {
+        // Sdg: X -> -Y, Y -> X, Z -> Z.
+        signs_[w] ^= xc[w] & ~zc[w];
+        zc[w] ^= xc[w];
+    }
+}
+
+void
+PackedTableau::appendX(uint32_t q)
+{
+    const uint64_t *zc = &z_[q * words_];
+    for (uint32_t w = 0; w < words_; ++w)
+        signs_[w] ^= zc[w]; // X anticommutes with Z and Y
+}
+
+void
+PackedTableau::appendY(uint32_t q)
+{
+    const uint64_t *xc = &x_[q * words_];
+    const uint64_t *zc = &z_[q * words_];
+    for (uint32_t w = 0; w < words_; ++w)
+        signs_[w] ^= xc[w] ^ zc[w]; // Y anticommutes with X and Z
+}
+
+void
+PackedTableau::appendZ(uint32_t q)
+{
+    const uint64_t *xc = &x_[q * words_];
+    for (uint32_t w = 0; w < words_; ++w)
+        signs_[w] ^= xc[w]; // Z anticommutes with X and Y
+}
+
+void
+PackedTableau::appendSqrtX(uint32_t q)
+{
+    uint64_t *xc = &x_[q * words_];
+    uint64_t *zc = &z_[q * words_];
+    for (uint32_t w = 0; w < words_; ++w) {
+        // sqrt(X): X -> X, Z -> -Y, Y -> Z.
+        signs_[w] ^= ~xc[w] & zc[w];
+        xc[w] ^= zc[w];
+    }
+}
+
+void
+PackedTableau::appendSqrtXdg(uint32_t q)
+{
+    uint64_t *xc = &x_[q * words_];
+    uint64_t *zc = &z_[q * words_];
+    for (uint32_t w = 0; w < words_; ++w) {
+        // sqrt(X)~: X -> X, Z -> Y, Y -> -Z.
+        signs_[w] ^= xc[w] & zc[w];
+        xc[w] ^= zc[w];
+    }
+}
+
+void
+PackedTableau::appendCX(uint32_t control, uint32_t target)
+{
+    assert(control != target);
+    uint64_t *xc = &x_[control * words_];
+    uint64_t *zc = &z_[control * words_];
+    uint64_t *xt = &x_[target * words_];
+    uint64_t *zt = &z_[target * words_];
+    for (uint32_t w = 0; w < words_; ++w) {
+        // Aaronson-Gottesman: sign flips iff xc & zt & ~(xt ^ zc).
+        signs_[w] ^= xc[w] & zt[w] & ~(xt[w] ^ zc[w]);
+        xt[w] ^= xc[w];
+        zc[w] ^= zt[w];
+    }
+}
+
+void
+PackedTableau::appendCZ(uint32_t a, uint32_t b)
+{
+    assert(a != b);
+    uint64_t *xa = &x_[a * words_];
+    uint64_t *za = &z_[a * words_];
+    uint64_t *xb = &x_[b * words_];
+    uint64_t *zb = &z_[b * words_];
+    for (uint32_t w = 0; w < words_; ++w) {
+        // CZ: sign flips iff xa & xb & (za ^ zb); za ^= xb, zb ^= xa.
+        signs_[w] ^= xa[w] & xb[w] & (za[w] ^ zb[w]);
+        za[w] ^= xb[w];
+        zb[w] ^= xa[w];
+    }
+}
+
+void
+PackedTableau::appendSwap(uint32_t a, uint32_t b)
+{
+    assert(a != b);
+    uint64_t *xa = &x_[a * words_];
+    uint64_t *za = &z_[a * words_];
+    uint64_t *xb = &x_[b * words_];
+    uint64_t *zb = &z_[b * words_];
+    for (uint32_t w = 0; w < words_; ++w) {
+        std::swap(xa[w], xb[w]);
+        std::swap(za[w], zb[w]);
+    }
+}
+
+void
+PackedTableau::appendGate(const Gate &g)
+{
+    switch (g.type) {
+      case GateType::H:    appendH(g.q0); break;
+      case GateType::S:    appendS(g.q0); break;
+      case GateType::Sdg:  appendSdg(g.q0); break;
+      case GateType::X:    appendX(g.q0); break;
+      case GateType::Y:    appendY(g.q0); break;
+      case GateType::Z:    appendZ(g.q0); break;
+      case GateType::SX:   appendSqrtX(g.q0); break;
+      case GateType::SXdg: appendSqrtXdg(g.q0); break;
+      case GateType::CX:   appendCX(g.q0, g.q1); break;
+      case GateType::CZ:   appendCZ(g.q0, g.q1); break;
+      case GateType::Swap: appendSwap(g.q0, g.q1); break;
+      default:
+        assert(false && "non-Clifford gate appended to tableau");
+    }
+}
+
+void
+PackedTableau::appendCircuit(const QuantumCircuit &qc)
+{
+    assert(qc.numQubits() == numQubits_);
+    for (const Gate &g : qc.gates())
+        appendGate(g);
+}
+
+PauliString
+PackedTableau::rowAt(uint32_t r) const
+{
+    assert(r < 2 * numQubits_);
+    PauliString p(numQubits_);
+    for (uint32_t c = 0; c < numQubits_; ++c) {
+        const uint8_t code =
+            static_cast<uint8_t>(static_cast<uint8_t>(xBitRC(r, c)) |
+                                 (static_cast<uint8_t>(zBitRC(r, c)) << 1));
+        if (code)
+            p.setOp(c, static_cast<PauliOp>(code));
+    }
+    p.setPhase(signBit(r) ? 2 : 0);
+    return p;
+}
+
+void
+PackedTableau::setRow(uint32_t r, const PauliString &p)
+{
+    assert(r < 2 * numQubits_);
+    assert(p.phase() == 0 || p.phase() == 2);
+    const uint32_t w = r >> 6;
+    const uint64_t m = 1ULL << (r & 63);
+    for (uint32_t c = 0; c < numQubits_; ++c) {
+        if (p.xBit(c))
+            x_[c * words_ + w] |= m;
+        else
+            x_[c * words_ + w] &= ~m;
+        if (p.zBit(c))
+            z_[c * words_ + w] |= m;
+        else
+            z_[c * words_ + w] &= ~m;
+    }
+    if (p.phase() == 2)
+        signs_[w] |= m;
+    else
+        signs_[w] &= ~m;
+}
+
+void
+PackedTableau::buildRowMask(const PauliString &p, uint64_t *mask) const
+{
+    // Row 2q selects the X_q image, row 2q+1 the Z_q image; interleave
+    // p's x and z bits 32 qubits at a time.
+    const auto xw = p.xWords();
+    const auto zw = p.zWords();
+    for (uint32_t w = 0; w < words_; ++w) {
+        const uint32_t src = w >> 1;
+        const uint32_t shift = (w & 1) ? 32 : 0;
+        const uint64_t xchunk =
+            src < xw.size() ? (xw[src] >> shift) & 0xFFFFFFFFULL : 0;
+        const uint64_t zchunk =
+            src < zw.size() ? (zw[src] >> shift) & 0xFFFFFFFFULL : 0;
+        mask[w] = spreadBits(xchunk) | (spreadBits(zchunk) << 1);
+    }
+}
+
+PauliString
+PackedTableau::conjugate(const PauliString &p) const
+{
+    assert(p.numQubits() == numQubits_);
+
+    // The result is the ordered product of the selected rows. Writing
+    // each Hermitian row R_j = (-1)^{s_j} i^{|x_j & z_j|} X^{x_j} Z^{z_j}
+    // and normal-ordering the product gives the closed form
+    //
+    //   phase = 2.sum s_j + sum_j |x_j & z_j| + 2.sum_{j<l} (z_j . x_l)
+    //           - |A & B|  + p.phase + |p.x & p.z|          (mod 4)
+    //
+    // with A = xor of x_j, B = xor of z_j — exactly the phase the
+    // row-major reference accumulates with sequential multiplications.
+    uint64_t mask_small[16]; // stack mask up to 512 qubits
+    std::vector<uint64_t> mask_heap;
+    uint64_t *mask = mask_small;
+    if (words_ > 16) {
+        mask_heap.resize(words_);
+        mask = mask_heap.data();
+    }
+    buildRowMask(p, mask);
+
+    uint32_t selected = 0;
+    for (uint32_t w = 0; w < words_; ++w)
+        selected += popcnt(mask[w]);
+
+    uint64_t phase_acc = p.phase();
+    for (uint32_t w = 0; w < p.numWords(); ++w)
+        phase_acc += popcnt(p.xWords()[w] & p.zWords()[w]); // one i per Y
+
+    if (selected == 0) {
+        PauliString result(numQubits_);
+        result.setPhase(static_cast<uint8_t>(phase_acc & 3));
+        return result;
+    }
+
+    if (selected <= sparseConjugateRowLimit(numQubits_)) {
+        // Gather/multiply path: identical to the reference row walk.
+        PauliString result(numQubits_);
+        for (uint32_t w = 0; w < words_; ++w) {
+            uint64_t bits = mask[w];
+            while (bits) {
+                const int b = std::countr_zero(bits);
+                bits &= bits - 1;
+                result.mulRight(
+                    rowAt(64 * w + static_cast<uint32_t>(b)));
+            }
+        }
+        result.setPhase(
+            static_cast<uint8_t>((result.phase() + phase_acc) & 3));
+        return result;
+    }
+
+    PauliString result(numQubits_);
+    uint32_t sign_rows = 0;  // rows contributing -1
+    uint64_t y_result = 0;   // |A & B|
+    uint64_t y_ones = 0;     // carry-save counter: sum |x_j & z_j| ...
+    uint64_t y_twos = 0;     // ... read out as popcnt(ones) + 2 popcnt(twos)
+    uint64_t pair_fold = 0;  // XOR-fold of the per-word pair contributions
+    for (uint32_t w = 0; w < words_; ++w)
+        sign_rows += popcnt(signs_[w] & mask[w]);
+
+    for (uint32_t c = 0; c < numQubits_; ++c) {
+        const uint64_t *xc = &x_[c * words_];
+        const uint64_t *zc = &z_[c * words_];
+        // Bit-count parities fold across words: popcount(a) + popcount(b)
+        // == popcount(a ^ b) (mod 2), so one popcount per column covers
+        // all W words.
+        uint64_t x_fold = 0, z_fold = 0;
+        uint64_t z_run = 0; // parity (0/1) of z bits in lower words
+        for (uint32_t w = 0; w < words_; ++w) {
+            const uint64_t ux = xc[w] & mask[w];
+            const uint64_t uz = zc[w] & mask[w];
+            x_fold ^= ux;
+            z_fold ^= uz;
+            const uint64_t y = ux & uz;
+            y_twos ^= y_ones & y;
+            y_ones ^= y;
+            // Ordered (z_j, x_l), j < l pairs: in-word via the prefix
+            // scan, cross-word via the running z parity broadcast.
+            pair_fold ^= ux & prefixParityExclusive(uz);
+            pair_fold ^= (0 - z_run) & ux;
+            z_run ^= popcnt(uz) & 1;
+        }
+        const uint8_t xbit = static_cast<uint8_t>(popcnt(x_fold) & 1);
+        const uint8_t zbit = static_cast<uint8_t>(popcnt(z_fold) & 1);
+        if (xbit | zbit)
+            result.setOp(c, static_cast<PauliOp>(
+                                static_cast<uint8_t>(xbit | (zbit << 1))));
+        y_result += xbit & zbit;
+    }
+
+    const uint64_t y_rows = popcnt(y_ones) + 2ULL * popcnt(y_twos);
+    const uint64_t pair_parity = popcnt(pair_fold) & 1;
+    phase_acc += 2 * (sign_rows & 1) + y_rows + 2 * pair_parity +
+                 3 * (y_result & 3); // 3 == -1 mod 4
+    result.setPhase(static_cast<uint8_t>(phase_acc & 3));
+    return result;
+}
+
+void
+PackedTableau::prependGate(const Gate &g)
+{
+    // T'(P) = T(g P g~): only generators touching g's qubits change.
+    // The conjugated generators are low weight, so the sparse conjugate
+    // path evaluates them; rows are rewritten afterwards.
+    uint32_t qubits[2] = { g.q0, 0 };
+    uint32_t num_qubits = 1;
+    if (isTwoQubit(g.type))
+        qubits[num_qubits++] = g.q1;
+
+    uint32_t rows[4];
+    PauliString new_rows[4];
+    uint32_t count = 0;
+    QuantumCircuit one(numQubits_);
+    one.append(g);
+    for (uint32_t i = 0; i < num_qubits; ++i) {
+        for (const bool is_z : { false, true }) {
+            PauliString generator(numQubits_);
+            generator.setOp(qubits[i], is_z ? PauliOp::Z : PauliOp::X);
+            one.conjugatePauli(generator);
+            new_rows[count] = conjugate(generator);
+            rows[count] = 2 * qubits[i] + (is_z ? 1u : 0u);
+            ++count;
+        }
+    }
+    for (uint32_t i = 0; i < count; ++i)
+        setRow(rows[i], new_rows[i]);
+}
+
+void
+PackedTableau::composeWith(const PackedTableau &other)
+{
+    assert(other.numQubits_ == numQubits_);
+    // (other . U) P (other . U)~ = other(U(P)).
+    std::vector<PauliString> rows;
+    rows.reserve(2 * static_cast<size_t>(numQubits_));
+    for (uint32_t r = 0; r < 2 * numQubits_; ++r)
+        rows.push_back(other.conjugate(rowAt(r)));
+    for (uint32_t r = 0; r < 2 * numQubits_; ++r)
+        setRow(r, rows[r]);
+}
+
+PackedTableau
+PackedTableau::inverse() const
+{
+    return fromCircuit(toCircuit().inverse());
+}
+
+bool
+PackedTableau::isIdentity() const
+{
+    PackedTableau id(numQubits_);
+    return *this == id;
+}
+
+bool
+PackedTableau::operator==(const PackedTableau &other) const
+{
+    return numQubits_ == other.numQubits_ && x_ == other.x_ &&
+           z_ == other.z_ && signs_ == other.signs_;
+}
+
+QuantumCircuit
+PackedTableau::toCircuit() const
+{
+    // Reduce a working copy to the identity tableau while recording the
+    // appended gates; the circuit is then the reversed, inverted record.
+    // Mirrors the row-major reference elimination step for step, so the
+    // emitted gate sequence is identical for equal tableaux.
+    PackedTableau work = *this;
+    std::vector<Gate> record;
+
+    auto emit = [&](const Gate &g) {
+        work.appendGate(g);
+        record.push_back(g);
+    };
+
+    const uint32_t n = numQubits_;
+    for (uint32_t q = 0; q < n; ++q) {
+        const uint32_t rx = 2 * q;
+        const uint32_t rz = 2 * q + 1;
+        // --- Step A: reduce imageX(q) to +-X_q. ---
+        {
+            // Find a pivot with an x bit; fall back to a z bit + H.
+            uint32_t pivot = n;
+            for (uint32_t j = q; j < n; ++j) {
+                if (work.xBitRC(rx, j)) {
+                    pivot = j;
+                    break;
+                }
+            }
+            if (pivot == n) {
+                for (uint32_t j = q; j < n; ++j) {
+                    if (work.zBitRC(rx, j)) {
+                        emit({ GateType::H, j });
+                        pivot = j;
+                        break;
+                    }
+                }
+            }
+            assert(pivot < n && "tableau is not invertible");
+            if (pivot != q)
+                emit({ GateType::Swap, q, pivot });
+            if (work.opRC(rx, q) == PauliOp::Y)
+                emit({ GateType::S, q });
+            // Clear remaining support.
+            for (uint32_t j = 0; j < n; ++j) {
+                if (j == q)
+                    continue;
+                const PauliOp op = work.opRC(rx, j);
+                if (op == PauliOp::I)
+                    continue;
+                if (op == PauliOp::Z) {
+                    emit({ GateType::H, j });
+                } else if (op == PauliOp::Y) {
+                    emit({ GateType::S, j });
+                }
+                emit({ GateType::CX, q, j });
+            }
+        }
+
+        // --- Step B: reduce imageZ(q) to +-Z_q, preserving X_q. ---
+        {
+            // Position q anticommutes with X_q, so it is Z or Y there.
+            if (work.opRC(rz, q) == PauliOp::Y) {
+                // sqrt(X) maps Y -> Z while fixing X.
+                emit({ GateType::SX, q });
+            }
+            for (uint32_t j = 0; j < n; ++j) {
+                if (j == q)
+                    continue;
+                const PauliOp op = work.opRC(rz, j);
+                if (op == PauliOp::I)
+                    continue;
+                if (op == PauliOp::X) {
+                    emit({ GateType::H, j });
+                } else if (op == PauliOp::Y) {
+                    emit({ GateType::S, j }); // Y -> -X
+                    emit({ GateType::H, j }); // X -> Z
+                }
+                emit({ GateType::CX, j, q });
+            }
+        }
+
+        assert(work.rowAt(rx).equalsUpToPhase([&] {
+            PauliString e(n);
+            e.setOp(q, PauliOp::X);
+            return e;
+        }()));
+    }
+
+    // --- Fix signs with a final Pauli layer. ---
+    for (uint32_t q = 0; q < n; ++q) {
+        if (work.signBit(2 * q))
+            emit({ GateType::Z, q });
+        if (work.signBit(2 * q + 1))
+            emit({ GateType::X, q });
+    }
+    assert(work.isIdentity());
+
+    // work = g_k ... g_1 . U = I, so U = g_1~ ... g_k~; in circuit time
+    // order that is g_k~ first.
+    QuantumCircuit qc(n);
+    for (size_t i = record.size(); i-- > 0;) {
+        Gate g = record[i];
+        g.type = inverseType(g.type);
+        qc.append(g);
+    }
+    return qc;
+}
+
+} // namespace quclear

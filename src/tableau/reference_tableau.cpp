@@ -1,4 +1,4 @@
-#include "tableau/clifford_tableau.hpp"
+#include "tableau/reference_tableau.hpp"
 
 #include <cassert>
 #include <cstdint>
@@ -7,7 +7,7 @@
 
 namespace quclear {
 
-CliffordTableau::CliffordTableau(uint32_t num_qubits)
+ReferenceTableau::ReferenceTableau(uint32_t num_qubits)
     : numQubits_(num_qubits)
 {
     rowX_.reserve(num_qubits);
@@ -22,16 +22,16 @@ CliffordTableau::CliffordTableau(uint32_t num_qubits)
     }
 }
 
-CliffordTableau
-CliffordTableau::fromCircuit(const QuantumCircuit &qc)
+ReferenceTableau
+ReferenceTableau::fromCircuit(const QuantumCircuit &qc)
 {
-    CliffordTableau t(qc.numQubits());
+    ReferenceTableau t(qc.numQubits());
     t.appendCircuit(qc);
     return t;
 }
 
 void
-CliffordTableau::appendH(uint32_t q)
+ReferenceTableau::appendH(uint32_t q)
 {
     for (uint32_t i = 0; i < numQubits_; ++i) {
         rowX_[i].applyH(q);
@@ -40,7 +40,7 @@ CliffordTableau::appendH(uint32_t q)
 }
 
 void
-CliffordTableau::appendS(uint32_t q)
+ReferenceTableau::appendS(uint32_t q)
 {
     for (uint32_t i = 0; i < numQubits_; ++i) {
         rowX_[i].applyS(q);
@@ -49,7 +49,7 @@ CliffordTableau::appendS(uint32_t q)
 }
 
 void
-CliffordTableau::appendSdg(uint32_t q)
+ReferenceTableau::appendSdg(uint32_t q)
 {
     for (uint32_t i = 0; i < numQubits_; ++i) {
         rowX_[i].applySdg(q);
@@ -58,7 +58,7 @@ CliffordTableau::appendSdg(uint32_t q)
 }
 
 void
-CliffordTableau::appendX(uint32_t q)
+ReferenceTableau::appendX(uint32_t q)
 {
     for (uint32_t i = 0; i < numQubits_; ++i) {
         rowX_[i].applyX(q);
@@ -67,7 +67,7 @@ CliffordTableau::appendX(uint32_t q)
 }
 
 void
-CliffordTableau::appendY(uint32_t q)
+ReferenceTableau::appendY(uint32_t q)
 {
     for (uint32_t i = 0; i < numQubits_; ++i) {
         rowX_[i].applyY(q);
@@ -76,7 +76,7 @@ CliffordTableau::appendY(uint32_t q)
 }
 
 void
-CliffordTableau::appendZ(uint32_t q)
+ReferenceTableau::appendZ(uint32_t q)
 {
     for (uint32_t i = 0; i < numQubits_; ++i) {
         rowX_[i].applyZ(q);
@@ -85,7 +85,7 @@ CliffordTableau::appendZ(uint32_t q)
 }
 
 void
-CliffordTableau::appendSqrtX(uint32_t q)
+ReferenceTableau::appendSqrtX(uint32_t q)
 {
     for (uint32_t i = 0; i < numQubits_; ++i) {
         rowX_[i].applySqrtX(q);
@@ -94,7 +94,7 @@ CliffordTableau::appendSqrtX(uint32_t q)
 }
 
 void
-CliffordTableau::appendSqrtXdg(uint32_t q)
+ReferenceTableau::appendSqrtXdg(uint32_t q)
 {
     for (uint32_t i = 0; i < numQubits_; ++i) {
         rowX_[i].applySqrtXdg(q);
@@ -103,7 +103,7 @@ CliffordTableau::appendSqrtXdg(uint32_t q)
 }
 
 void
-CliffordTableau::appendCX(uint32_t control, uint32_t target)
+ReferenceTableau::appendCX(uint32_t control, uint32_t target)
 {
     for (uint32_t i = 0; i < numQubits_; ++i) {
         rowX_[i].applyCX(control, target);
@@ -112,7 +112,7 @@ CliffordTableau::appendCX(uint32_t control, uint32_t target)
 }
 
 void
-CliffordTableau::appendCZ(uint32_t a, uint32_t b)
+ReferenceTableau::appendCZ(uint32_t a, uint32_t b)
 {
     for (uint32_t i = 0; i < numQubits_; ++i) {
         rowX_[i].applyCZ(a, b);
@@ -121,7 +121,7 @@ CliffordTableau::appendCZ(uint32_t a, uint32_t b)
 }
 
 void
-CliffordTableau::appendSwap(uint32_t a, uint32_t b)
+ReferenceTableau::appendSwap(uint32_t a, uint32_t b)
 {
     for (uint32_t i = 0; i < numQubits_; ++i) {
         rowX_[i].applySwap(a, b);
@@ -130,7 +130,7 @@ CliffordTableau::appendSwap(uint32_t a, uint32_t b)
 }
 
 void
-CliffordTableau::appendGate(const Gate &g)
+ReferenceTableau::appendGate(const Gate &g)
 {
     switch (g.type) {
       case GateType::H:    appendH(g.q0); break;
@@ -150,7 +150,7 @@ CliffordTableau::appendGate(const Gate &g)
 }
 
 void
-CliffordTableau::appendCircuit(const QuantumCircuit &qc)
+ReferenceTableau::appendCircuit(const QuantumCircuit &qc)
 {
     assert(qc.numQubits() == numQubits_);
     for (const Gate &g : qc.gates())
@@ -158,7 +158,7 @@ CliffordTableau::appendCircuit(const QuantumCircuit &qc)
 }
 
 void
-CliffordTableau::prependGate(const Gate &g)
+ReferenceTableau::prependGate(const Gate &g)
 {
     // T'(P) = T(g P g~): only generators touching g's qubits change.
     // Compute the small conjugated Pauli for each affected generator and
@@ -189,7 +189,7 @@ CliffordTableau::prependGate(const Gate &g)
 }
 
 PauliString
-CliffordTableau::conjugate(const PauliString &p) const
+ReferenceTableau::conjugate(const PauliString &p) const
 {
     assert(p.numQubits() == numQubits_);
     // Decompose P = i^k prod_q X_q^{x} Z_q^{z}, with Y_q = i X_q Z_q, and
@@ -211,7 +211,7 @@ CliffordTableau::conjugate(const PauliString &p) const
 }
 
 void
-CliffordTableau::composeWith(const CliffordTableau &other)
+ReferenceTableau::composeWith(const ReferenceTableau &other)
 {
     assert(other.numQubits_ == numQubits_);
     // (other . U) P (other . U)~ = other(U(P)): push every image row
@@ -222,32 +222,32 @@ CliffordTableau::composeWith(const CliffordTableau &other)
     }
 }
 
-CliffordTableau
-CliffordTableau::inverse() const
+ReferenceTableau
+ReferenceTableau::inverse() const
 {
     return fromCircuit(toCircuit().inverse());
 }
 
 bool
-CliffordTableau::isIdentity() const
+ReferenceTableau::isIdentity() const
 {
-    CliffordTableau id(numQubits_);
+    ReferenceTableau id(numQubits_);
     return *this == id;
 }
 
 bool
-CliffordTableau::operator==(const CliffordTableau &other) const
+ReferenceTableau::operator==(const ReferenceTableau &other) const
 {
     return numQubits_ == other.numQubits_ && rowX_ == other.rowX_ &&
            rowZ_ == other.rowZ_;
 }
 
 QuantumCircuit
-CliffordTableau::toCircuit() const
+ReferenceTableau::toCircuit() const
 {
     // Reduce a working copy to the identity tableau while recording the
     // appended gates; the circuit is then the reversed, inverted record.
-    CliffordTableau work = *this;
+    ReferenceTableau work = *this;
     std::vector<Gate> record;
 
     auto emit = [&](const Gate &g) {

@@ -25,26 +25,11 @@ StabilizerSimulator::StabilizerSimulator(uint32_t num_qubits)
 void
 StabilizerSimulator::applyGate(const Gate &g)
 {
-    auto apply = [&](PauliString &p) {
-        switch (g.type) {
-          case GateType::H:    p.applyH(g.q0); break;
-          case GateType::S:    p.applyS(g.q0); break;
-          case GateType::Sdg:  p.applySdg(g.q0); break;
-          case GateType::X:    p.applyX(g.q0); break;
-          case GateType::Y:    p.applyY(g.q0); break;
-          case GateType::Z:    p.applyZ(g.q0); break;
-          case GateType::SX:   p.applySqrtX(g.q0); break;
-          case GateType::SXdg: p.applySqrtXdg(g.q0); break;
-          case GateType::CX:   p.applyCX(g.q0, g.q1); break;
-          case GateType::CZ:   p.applyCZ(g.q0, g.q1); break;
-          case GateType::Swap: p.applySwap(g.q0, g.q1); break;
-          default:
-            assert(false && "stabilizer simulator requires Clifford gates");
-        }
-    };
+    assert(isClifford(g.type) &&
+           "stabilizer simulator requires Clifford gates");
     for (uint32_t i = 0; i < numQubits_; ++i) {
-        apply(destab_[i]);
-        apply(stab_[i]);
+        applyGateToPauli(destab_[i], g);
+        applyGateToPauli(stab_[i], g);
     }
 }
 

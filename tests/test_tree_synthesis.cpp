@@ -30,10 +30,9 @@ runSynthesis(const PauliString &current,
 {
     const uint32_t n = current.numQubits();
     SynthOutput out(n);
-    std::vector<const PauliString *> ptrs;
-    for (const auto &p : lookahead)
-        ptrs.push_back(&p);
-    TreeSynthesizer synth(out.acc, out.tree, ptrs, config);
+    // The synthesizer takes lookahead pre-conjugated through the
+    // tableau; out.acc is the identity here, so the strings pass as-is.
+    TreeSynthesizer synth(out.acc, out.tree, lookahead, config);
     out.root = synth.synthesize(current.support());
     return out;
 }
@@ -194,8 +193,7 @@ TEST(TreeSynthesisTest, Figure7GroupedSubtrees)
         }
     }
     out.acc.appendCircuit(basis);
-    std::vector<const PauliString *> ptrs{ &p2 };
-    TreeSynthesizer synth(out.acc, out.tree, ptrs, {});
+    TreeSynthesizer synth(out.acc, out.tree, { out.acc.conjugate(p2) }, {});
     const uint32_t root = synth.synthesize(p1.support());
     (void)root;
     EXPECT_EQ(out.tree.size(), p1.weight() - 1);
