@@ -9,9 +9,11 @@
  *
  * The Packed/Reference benchmark pairs measure the bit-sliced engine
  * against the preserved row-major seed implementation on identical gate
- * and Pauli streams; CI records them as JSON via
+ * and Pauli streams; the ...Batch / ...Threaded variants record the
+ * batched conjugation kernel and the worker-pool paths against their
+ * scalar/sequential counterparts. CI records them as JSON via
  *   bench_micro \
- *     --benchmark_filter='Tableau|Extraction|ExtractorCommutingBlock' \
+ *     --benchmark_filter='Tableau|Extraction|ExtractorCommutingBlock|Absorb' \
  *     --benchmark_out=BENCH_tableau.json --benchmark_out_format=json
  */
 #include <benchmark/benchmark.h>
@@ -28,6 +30,7 @@
 #include "tableau/packed_tableau.hpp"
 #include "tableau/reference_tableau.hpp"
 #include "util/rng.hpp"
+#include "util/worker_pool.hpp"
 
 namespace {
 
@@ -146,6 +149,70 @@ BM_ReferenceTableauConjugate(benchmark::State &state)
 BENCHMARK(BM_ReferenceTableauConjugate)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
 
 /**
+ * The batched conjugation kernel: args are {qubits, batch size}. The
+ * tableau transpose is paid once per call and amortized over the
+ * batch, so per-item time should sit well below the scalar
+ * BM_PackedTableauConjugate at the same qubit count (the acceptance
+ * bar is >= 2x at 128 qubits on >= 16-term batches). The work vector
+ * is refreshed element-wise each iteration, which reuses each string's
+ * capacity — the same in-place update pattern the extractor's
+ * conjugation cache uses.
+ */
+void
+BM_PackedTableauConjugateBatch(benchmark::State &state)
+{
+    const uint32_t n = static_cast<uint32_t>(state.range(0));
+    const size_t batch = static_cast<size_t>(state.range(1));
+    Rng rng(2);
+    PackedTableau t(n);
+    scrambleTableau(t, n, 2);
+    std::vector<PauliString> inputs;
+    for (size_t i = 0; i < batch; ++i)
+        inputs.push_back(randomPauli(n, rng));
+    std::vector<PauliString> work = inputs;
+    for (auto _ : state) {
+        for (size_t i = 0; i < batch; ++i)
+            work[i] = inputs[i];
+        t.conjugateBatch(work);
+        benchmark::DoNotOptimize(work.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_PackedTableauConjugateBatch)
+    ->Args({ 128, 16 })
+    ->Args({ 128, 64 })
+    ->Args({ 128, 256 })
+    ->Args({ 256, 64 });
+
+/** Batched conjugation fanned over a worker pool ({qubits, batch}). */
+void
+BM_PackedTableauConjugateBatchThreaded(benchmark::State &state)
+{
+    const uint32_t n = static_cast<uint32_t>(state.range(0));
+    const size_t batch = static_cast<size_t>(state.range(1));
+    Rng rng(2);
+    PackedTableau t(n);
+    scrambleTableau(t, n, 2);
+    std::vector<PauliString> inputs;
+    for (size_t i = 0; i < batch; ++i)
+        inputs.push_back(randomPauli(n, rng));
+    WorkerPool pool(0); // hardware concurrency
+    std::vector<PauliString> work = inputs;
+    for (auto _ : state) {
+        for (size_t i = 0; i < batch; ++i)
+            work[i] = inputs[i];
+        t.conjugateBatch(work, &pool);
+        benchmark::DoNotOptimize(work.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_PackedTableauConjugateBatchThreaded)
+    ->Args({ 128, 256 })
+    ->Args({ 256, 64 });
+
+/**
  * The extraction-shaped kernel behind the acceptance criterion: per
  * iteration, one rotation's worth of tableau work — a basis-layer +
  * CNOT-tree sized burst of gate appends followed by one term
@@ -213,7 +280,9 @@ BM_CliffordExtraction(benchmark::State &state)
     const uint32_t n = static_cast<uint32_t>(state.range(0));
     const size_t m = static_cast<size_t>(state.range(1));
     const auto terms = randomTerms(n, m, 4);
-    const CliffordExtractor extractor;
+    ExtractionConfig config;
+    config.threads = 1; // sequential baseline for the Threaded variant
+    const CliffordExtractor extractor(config);
     for (auto _ : state)
         benchmark::DoNotOptimize(extractor.run(terms));
     state.SetItemsProcessed(state.iterations() * m);
@@ -222,6 +291,29 @@ BENCHMARK(BM_CliffordExtraction)
     ->Args({ 8, 64 })
     ->Args({ 16, 256 })
     ->Args({ 20, 512 })
+    ->Args({ 64, 256 })
+    ->Args({ 128, 256 });
+
+/**
+ * Full extraction through the worker pool (threads = hardware
+ * concurrency): batch block entry, parallel conjugation-cache replay,
+ * threaded lookahead. Output is bit-identical to BM_CliffordExtraction
+ * on the same args; only the wall clock may differ.
+ */
+void
+BM_CliffordExtractionThreaded(benchmark::State &state)
+{
+    const uint32_t n = static_cast<uint32_t>(state.range(0));
+    const size_t m = static_cast<size_t>(state.range(1));
+    const auto terms = randomTerms(n, m, 4);
+    ExtractionConfig config;
+    config.threads = 0; // hardware concurrency
+    const CliffordExtractor extractor(config);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(extractor.run(terms));
+    state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_CliffordExtractionThreaded)
     ->Args({ 64, 256 })
     ->Args({ 128, 256 });
 
@@ -245,7 +337,9 @@ BM_ExtractorCommutingBlock(benchmark::State &state)
         if (!p.isIdentity())
             terms.emplace_back(std::move(p), rng.uniformReal(-1, 1));
     }
-    const CliffordExtractor extractor;
+    ExtractionConfig config;
+    config.threads = 1; // keep the PR 2 perf-trend series sequential
+    const CliffordExtractor extractor(config);
     for (auto _ : state)
         benchmark::DoNotOptimize(extractor.run(terms));
     state.SetItemsProcessed(state.iterations() * m);
@@ -268,6 +362,24 @@ BM_AbsorbObservables(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * k);
 }
 BENCHMARK(BM_AbsorbObservables)->Arg(10)->Arg(100)->Arg(1000);
+
+/** Multi-observable absorption over the worker pool. */
+void
+BM_AbsorbObservablesThreaded(benchmark::State &state)
+{
+    const uint32_t n = 20;
+    const size_t k = static_cast<size_t>(state.range(0));
+    const auto terms = randomTerms(n, 128, 5);
+    const ExtractionResult ext = CliffordExtractor().run(terms);
+    Rng rng(6);
+    std::vector<PauliString> observables;
+    for (size_t i = 0; i < k; ++i)
+        observables.push_back(randomPauli(n, rng));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(absorbObservables(ext, observables, 0));
+    state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_AbsorbObservablesThreaded)->Arg(100)->Arg(1000);
 
 void
 BM_RemapBitstrings(benchmark::State &state)

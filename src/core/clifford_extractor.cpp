@@ -2,12 +2,25 @@
 
 #include <cassert>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "pauli/pauli_list.hpp"
+#include "util/worker_pool.hpp"
 
 namespace quclear {
+
+namespace {
+
+/**
+ * Pending-entry count below which the conjugation-cache replay stays
+ * inline: a gate replay is O(n/64) word ops per entry, so tiny blocks
+ * would pay more in pool dispatch than in work.
+ */
+constexpr size_t kParallelPendingThreshold = 8;
+
+} // namespace
 
 CliffordExtractor::CliffordExtractor(ExtractionConfig config)
     : config_(std::move(config))
@@ -36,14 +49,23 @@ CliffordExtractor::run(const std::vector<PauliTerm> &terms) const
     }
 
     // Conjugation cache: each block's terms are conjugated through the
-    // accumulated tableau ONCE at block entry, then kept exact by
-    // replaying every committed gate onto the still-pending entries
+    // accumulated tableau ONCE at block entry (as one batch, so the
+    // tableau transpose is amortized over the block), then kept exact
+    // by replaying every committed gate onto the still-pending entries
     // (a homomorphism: acc' = g.acc implies acc'(P) = g(acc(P))). This
     // replaces the per-pick re-conjugation of every candidate in
     // find_next_pauli and the rotation-root recheck — the old quadratic
     // O(m^2 . n . w) per block becomes O(m . n . w / 64 + gates . m).
+    //
+    // Both the batch conjugation and the replay are data-parallel over
+    // block entries: every entry is read and written independently, so
+    // fanning them over the pool leaves the output bit-identical to
+    // the sequential (threads = 1) path.
+    WorkerPool pool(config_.threads);
+    WorkerPool *const pool_ptr = pool.threadCount() > 1 ? &pool : nullptr;
     std::vector<PauliString> conj;    // cache, indexed by block position
     std::vector<uint32_t> order_next; // singly-linked successor list
+    std::vector<uint32_t> pending;    // reusable replay index scratch
     std::vector<uint32_t> support;    // reusable support scratch
     PauliString cand_scratch;         // reusable cost-model buffer
 
@@ -54,7 +76,8 @@ CliffordExtractor::run(const std::vector<PauliTerm> &terms) const
         conj.clear();
         conj.reserve(m);
         for (size_t idx : block)
-            conj.push_back(acc.conjugate(terms[idx].pauli));
+            conj.push_back(terms[idx].pauli);
+        acc.conjugateBatch(conj, pool_ptr);
 
         // Index-list order over block positions: reordering a pick is an
         // O(1) unlink + relink instead of the old vector erase/insert
@@ -63,11 +86,28 @@ CliffordExtractor::run(const std::vector<PauliTerm> &terms) const
         for (uint32_t i = 0; i < m; ++i)
             order_next[i] = i + 1;
 
-        // Replay a committed gate onto the pending cache entries (the
-        // current term plus everything still queued after it).
-        auto updatePending = [&](uint32_t from_pos, const Gate &g) {
+        // Replay a committed gate burst onto the pending cache entries
+        // (the current term plus everything still queued after it),
+        // across the pool when the pending set is wide enough.
+        auto updatePending = [&](uint32_t from_pos,
+                                 const QuantumCircuit &qc) {
+            if (qc.empty())
+                return;
+            pending.clear();
             for (uint32_t j = from_pos; j != m; j = order_next[j])
-                applyGateToPauli(conj[j], g);
+                pending.push_back(j);
+            const auto replay = [&](size_t begin, size_t end) {
+                for (size_t k = begin; k < end; ++k) {
+                    PauliString &entry = conj[pending[k]];
+                    for (const Gate &g : qc.gates())
+                        applyGateToPauli(entry, g);
+                }
+            };
+            if (pool_ptr != nullptr &&
+                pending.size() >= kParallelPendingThreshold)
+                pool.parallelFor(pending.size(), replay);
+            else
+                replay(0, pending.size());
         };
 
         for (uint32_t pos = 0; pos != m; pos = order_next[pos]) {
@@ -122,18 +162,18 @@ CliffordExtractor::run(const std::vector<PauliTerm> &terms) const
             });
             acc.appendCircuit(vj);
             opt.appendCircuit(vj);
-            for (const Gate &g : vj.gates())
-                updatePending(pos, g);
+            updatePending(pos, vj);
 
             // --- Lookahead: upcoming Paulis in committed order, already
-            // conjugated (cache copies within the block; fresh tableau
-            // conjugations only across the block boundary). ---
+            // conjugated (cache copies within the block; one fresh batch
+            // conjugation only across the block boundary). ---
             std::vector<PauliString> lookahead;
             for (uint32_t j = order_next[pos];
                  j != m && lookahead.size() < config_.tree.maxLookahead;
                  j = order_next[j]) {
                 lookahead.push_back(conj[j]);
             }
+            const size_t lookahead_cached = lookahead.size();
             for (size_t bb = b + 1;
                  bb < blocks.size() &&
                  lookahead.size() < config_.tree.maxLookahead;
@@ -141,19 +181,22 @@ CliffordExtractor::run(const std::vector<PauliTerm> &terms) const
                 for (size_t idx : blocks[bb]) {
                     if (lookahead.size() >= config_.tree.maxLookahead)
                         break;
-                    lookahead.push_back(acc.conjugate(terms[idx].pauli));
+                    lookahead.push_back(terms[idx].pauli);
                 }
             }
+            if (lookahead.size() > lookahead_cached)
+                acc.conjugateBatch(
+                    std::span(lookahead).subspan(lookahead_cached),
+                    pool_ptr);
 
             // --- CNOT tree (Algorithm 1). ---
             QuantumCircuit tree(n);
             TreeSynthesizer synth(acc, tree, std::move(lookahead),
-                                  config_.tree);
+                                  config_.tree, pool_ptr);
             const uint32_t root = synth.synthesize(support);
             opt.appendCircuit(tree);
             vj.appendCircuit(tree);
-            for (const Gate &g : tree.gates())
-                updatePending(pos, g);
+            updatePending(pos, tree);
 
             // --- Rotation on the parity root. ---
             // The cache kept `curr` conjugated through the basis layer

@@ -31,6 +31,16 @@ struct ExtractionConfig
      * (Sec. V-C). When false, the input order is kept verbatim.
      */
     bool useCommutingBlocks = true;
+
+    /**
+     * Worker threads for the data-parallel paths: block-entry batch
+     * conjugation, the conjugation-cache replay across pending block
+     * entries, tree-synthesis lookahead updates, and (through QuClear)
+     * multi-observable absorption. 0 = hardware concurrency, 1 = fully
+     * sequential. Every parallel loop writes disjoint slots, so the
+     * compiled output is bit-identical for every value of this knob.
+     */
+    uint32_t threads = 0;
 };
 
 /** Output of Clifford Extraction. */

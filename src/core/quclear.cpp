@@ -57,7 +57,8 @@ std::vector<AbsorbedObservable>
 QuClear::absorbObservables(const CompiledProgram &program,
                            const std::vector<PauliString> &observables) const
 {
-    return quclear::absorbObservables(program.extraction, observables);
+    return quclear::absorbObservables(program.extraction, observables,
+                                      options_.extraction.threads);
 }
 
 ProbabilityAbsorption

@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/worker_pool.hpp"
+
 namespace quclear {
 
 namespace {
@@ -35,9 +37,10 @@ cxWeightDelta(const PauliString &p, uint32_t control, uint32_t target)
 
 TreeSynthesizer::TreeSynthesizer(CliffordTableau &acc, QuantumCircuit &tree,
                                  std::vector<PauliString> lookahead,
-                                 const TreeSynthesisConfig &config)
+                                 const TreeSynthesisConfig &config,
+                                 WorkerPool *pool)
     : acc_(acc), tree_(tree), lookahead_(std::move(lookahead)),
-      config_(config)
+      config_(config), pool_(pool)
 {
 }
 
@@ -57,8 +60,21 @@ TreeSynthesizer::emitCx(uint32_t control, uint32_t target)
 {
     tree_.cx(control, target);
     acc_.appendCX(control, target);
-    for (PauliString &p : lookahead_)
-        p.applyCX(control, target);
+    // Entries update independently, so fanning a wide window over the
+    // pool cannot change the emitted tree. applyCX is O(1) (~a dozen
+    // bit ops), so a pool dispatch (microseconds) only amortizes over
+    // thousands of entries — anything narrower stays inline.
+    constexpr size_t kParallelLookaheadThreshold = 4096;
+    if (pool_ != nullptr &&
+        lookahead_.size() >= kParallelLookaheadThreshold) {
+        pool_->parallelFor(lookahead_.size(), [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i)
+                lookahead_[i].applyCX(control, target);
+        });
+    } else {
+        for (PauliString &p : lookahead_)
+            p.applyCX(control, target);
+    }
 }
 
 uint32_t

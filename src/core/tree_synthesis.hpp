@@ -23,6 +23,8 @@
 
 namespace quclear {
 
+class WorkerPool;
+
 /** Options controlling Algorithm 1 (exposed for the Fig. 10 ablation). */
 struct TreeSynthesisConfig
 {
@@ -78,10 +80,15 @@ class TreeSynthesizer
      *        one), already conjugated through @p acc; the synthesizer
      *        takes ownership and updates them per emitted CNOT
      * @param config algorithm options
+     * @param pool optional worker pool: wide lookahead windows are kept
+     *        current in parallel per emitted CNOT (entries update
+     *        independently, so the emitted tree is thread-count
+     *        invariant); small windows always update inline
      */
     TreeSynthesizer(CliffordTableau &acc, QuantumCircuit &tree,
                     std::vector<PauliString> lookahead,
-                    const TreeSynthesisConfig &config);
+                    const TreeSynthesisConfig &config,
+                    WorkerPool *pool = nullptr);
 
     /**
      * Build the tree over the given qubits (the current Pauli's support).
@@ -106,6 +113,7 @@ class TreeSynthesizer
     /** Pre-conjugated lookahead, updated in place on every emitCx. */
     std::vector<PauliString> lookahead_;
     TreeSynthesisConfig config_;
+    WorkerPool *pool_;
 };
 
 /**

@@ -1,5 +1,6 @@
 #include "pauli/pauli_string.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <cstdint>
@@ -83,6 +84,16 @@ PauliString::zBit(uint32_t q) const
 {
     assert(q < numQubits_);
     return (z_[q >> 6] >> (q & 63)) & 1;
+}
+
+void
+PauliString::assignWords(std::span<const uint64_t> x,
+                         std::span<const uint64_t> z, uint8_t phase)
+{
+    assert(x.size() == x_.size() && z.size() == z_.size());
+    std::copy(x.begin(), x.end(), x_.begin());
+    std::copy(z.begin(), z.end(), z_.begin());
+    phase_ = phase & 3;
 }
 
 int

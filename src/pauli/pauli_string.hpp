@@ -86,6 +86,15 @@ class PauliString
     uint32_t numWords() const { return static_cast<uint32_t>(x_.size()); }
     std::span<const uint64_t> xWords() const { return x_; }
     std::span<const uint64_t> zWords() const { return z_; }
+
+    /**
+     * Overwrite all packed words and the phase in one call (the batch
+     * conjugation kernel writes results through this instead of n setOp
+     * calls). Spans must hold exactly numWords() entries with every bit
+     * past numQubits() zero.
+     */
+    void assignWords(std::span<const uint64_t> x, std::span<const uint64_t> z,
+                     uint8_t phase);
     /** @} */
 
     /**

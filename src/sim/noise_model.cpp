@@ -1,8 +1,27 @@
 #include "sim/noise_model.hpp"
 
+#include <cassert>
 #include <cmath>
 
+#include "tableau/stabilizer_simulator.hpp"
+
 namespace quclear {
+
+namespace {
+
+/** Inject a sampled Pauli fault as a gate on the simulator. */
+void
+applyPauliFault(StabilizerSimulator &sim, PauliOp fault, uint32_t q)
+{
+    switch (fault) {
+      case PauliOp::X: sim.applyGate({ GateType::X, q }); break;
+      case PauliOp::Y: sim.applyGate({ GateType::Y, q }); break;
+      case PauliOp::Z: sim.applyGate({ GateType::Z, q }); break;
+      case PauliOp::I: break;
+    }
+}
+
+} // namespace
 
 double
 NoiseModel::estimatedSuccessProbability(const QuantumCircuit &qc) const
@@ -17,6 +36,82 @@ NoiseModel::logInfidelity(const QuantumCircuit &qc) const
     const double two_q = -std::log1p(-twoQubitError);
     return static_cast<double>(qc.singleQubitCount()) * one_q +
            static_cast<double>(qc.twoQubitCount(true)) * two_q;
+}
+
+std::array<double, 4>
+NoiseModel::singleQubitChannel() const
+{
+    const double p = singleQubitError;
+    return { 1.0 - p, p / 3.0, p / 3.0, p / 3.0 };
+}
+
+std::array<double, 16>
+NoiseModel::twoQubitChannel() const
+{
+    const double p = twoQubitError;
+    std::array<double, 16> channel;
+    channel[0] = 1.0 - p;
+    for (size_t k = 1; k < channel.size(); ++k)
+        channel[k] = p / 15.0;
+    return channel;
+}
+
+PauliOp
+NoiseModel::sampleSingleQubitError(Rng &rng) const
+{
+    if (!rng.bernoulli(singleQubitError))
+        return PauliOp::I;
+    switch (rng.uniformInt(3)) {
+      case 0: return PauliOp::X;
+      case 1: return PauliOp::Y;
+      default: return PauliOp::Z;
+    }
+}
+
+std::pair<PauliOp, PauliOp>
+NoiseModel::sampleTwoQubitError(Rng &rng) const
+{
+    if (!rng.bernoulli(twoQubitError))
+        return { PauliOp::I, PauliOp::I };
+    // Uniform over the 15 non-identity two-qubit Paulis; the letter
+    // index uses the same {I, X, Y, Z} order as twoQubitChannel().
+    const uint64_t k = 1 + rng.uniformInt(15);
+    static constexpr PauliOp kLetter[4] = { PauliOp::I, PauliOp::X,
+                                            PauliOp::Y, PauliOp::Z };
+    return { kLetter[k & 3], kLetter[k >> 2] };
+}
+
+NoiseModel::NoisySimResult
+NoiseModel::noisyStabilizerExpectation(const QuantumCircuit &qc,
+                                       const PauliString &observable,
+                                       size_t shots, Rng &rng) const
+{
+    assert(qc.isClifford() &&
+           "noisy stabilizer simulation needs a Clifford circuit");
+    NoisySimResult result;
+    double total = 0.0;
+    for (size_t shot = 0; shot < shots; ++shot) {
+        StabilizerSimulator sim(qc.numQubits());
+        for (const Gate &g : qc.gates()) {
+            sim.applyGate(g);
+            ++result.faultSites;
+            if (isTwoQubit(g.type)) {
+                const auto [fault0, fault1] = sampleTwoQubitError(rng);
+                applyPauliFault(sim, fault0, g.q0);
+                applyPauliFault(sim, fault1, g.q1);
+                if (fault0 != PauliOp::I || fault1 != PauliOp::I)
+                    ++result.errorEvents;
+            } else {
+                const PauliOp fault = sampleSingleQubitError(rng);
+                applyPauliFault(sim, fault, g.q0);
+                if (fault != PauliOp::I)
+                    ++result.errorEvents;
+            }
+        }
+        total += sim.expectation(observable);
+    }
+    result.expectation = shots > 0 ? total / static_cast<double>(shots) : 0.0;
+    return result;
 }
 
 } // namespace quclear

@@ -90,6 +90,18 @@ class CliffordTableau
         return impl_.conjugate(p);
     }
 
+    /**
+     * Conjugate many Pauli strings in one pass, in place; amortizes the
+     * tableau transpose across the batch and optionally fans the terms
+     * out over a worker pool. Bit-identical to conjugate() per element
+     * for every thread count.
+     */
+    void conjugateBatch(std::span<PauliString> terms,
+                        WorkerPool *pool = nullptr) const
+    {
+        impl_.conjugateBatch(terms, pool);
+    }
+
     /** True iff this tableau is the identity map (all signs +). */
     bool isIdentity() const { return impl_.isIdentity(); }
 

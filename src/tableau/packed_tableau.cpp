@@ -1,10 +1,13 @@
 #include "tableau/packed_tableau.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <cstdint>
 #include <utility>
 #include <vector>
+
+#include "util/worker_pool.hpp"
 
 namespace quclear {
 
@@ -39,6 +42,42 @@ prefixParityExclusive(uint64_t v)
     return v << 1;
 }
 
+/**
+ * One block-swap round of the 64x64 bit transpose with a compile-time
+ * stride so the 32-iteration loop fully unrolls (the runtime-stride
+ * version compiles to a branchy scalar loop that dominates the
+ * transpose profile).
+ */
+template <uint32_t J, uint64_t M>
+inline void
+transposeStep(uint64_t a[64])
+{
+    for (uint32_t base = 0; base < 64; base += 2 * J) {
+        for (uint32_t off = 0; off < J; ++off) {
+            const uint32_t k = base + off;
+            const uint64_t t = ((a[k] >> J) ^ a[k | J]) & M;
+            a[k] ^= t << J;
+            a[k | J] ^= t;
+        }
+    }
+}
+
+/**
+ * In-place 64x64 bit-matrix transpose (recursive block swap, Hacker's
+ * Delight 7-3 adapted to LSB-first bit order): afterwards bit j of
+ * a[i] is the old bit i of a[j].
+ */
+inline void
+transpose64(uint64_t a[64])
+{
+    transposeStep<32, 0x00000000FFFFFFFFULL>(a);
+    transposeStep<16, 0x0000FFFF0000FFFFULL>(a);
+    transposeStep<8, 0x00FF00FF00FF00FFULL>(a);
+    transposeStep<4, 0x0F0F0F0F0F0F0F0FULL>(a);
+    transposeStep<2, 0x3333333333333333ULL>(a);
+    transposeStep<1, 0x5555555555555555ULL>(a);
+}
+
 inline uint32_t
 popcnt(uint64_t v)
 {
@@ -47,9 +86,9 @@ popcnt(uint64_t v)
 
 /**
  * Selected-row count below which the gather/multiply conjugation path
- * wins over the column-parallel one: gathering a row costs O(n) bit
- * extractions, the dense pass O(n . 2n/64) word ops regardless of
- * weight, so the crossover grows linearly with n.
+ * wins over the transpose + row-walk one: gathering a row costs O(n)
+ * bit extractions, the transpose a fixed O(n . 2n/64) word ops
+ * regardless of weight, so the crossover grows linearly with n.
  */
 inline uint32_t
 sparseConjugateRowLimit(uint32_t num_qubits)
@@ -352,11 +391,15 @@ PackedTableau::conjugate(const PauliString &p) const
         return result;
     }
 
+    // Dense lone conjugate: column-parallel pass with the closed-form
+    // phase. A transpose to row-major (the batch kernel) cannot win
+    // here — its fixed cost is the same O(n . W) as this whole pass —
+    // so the transpose only pays off when amortized over a batch;
+    // conjugateBatch makes that call (see kMinBatchForTranspose).
     PauliString result(numQubits_);
     uint32_t sign_rows = 0;  // rows contributing -1
+    uint64_t y_rows = 0;     // sum of per-row |x_j & z_j|
     uint64_t y_result = 0;   // |A & B|
-    uint64_t y_ones = 0;     // carry-save counter: sum |x_j & z_j| ...
-    uint64_t y_twos = 0;     // ... read out as popcnt(ones) + 2 popcnt(twos)
     uint64_t pair_fold = 0;  // XOR-fold of the per-word pair contributions
     for (uint32_t w = 0; w < words_; ++w)
         sign_rows += popcnt(signs_[w] & mask[w]);
@@ -374,9 +417,7 @@ PackedTableau::conjugate(const PauliString &p) const
             const uint64_t uz = zc[w] & mask[w];
             x_fold ^= ux;
             z_fold ^= uz;
-            const uint64_t y = ux & uz;
-            y_twos ^= y_ones & y;
-            y_ones ^= y;
+            y_rows += popcnt(ux & uz);
             // Ordered (z_j, x_l), j < l pairs: in-word via the prefix
             // scan, cross-word via the running z parity broadcast.
             pair_fold ^= ux & prefixParityExclusive(uz);
@@ -391,12 +432,188 @@ PackedTableau::conjugate(const PauliString &p) const
         y_result += xbit & zbit;
     }
 
-    const uint64_t y_rows = popcnt(y_ones) + 2ULL * popcnt(y_twos);
     const uint64_t pair_parity = popcnt(pair_fold) & 1;
     phase_acc += 2 * (sign_rows & 1) + y_rows + 2 * pair_parity +
                  3 * (y_result & 3); // 3 == -1 mod 4
     result.setPhase(static_cast<uint8_t>(phase_acc & 3));
     return result;
+}
+
+PackedTableau::RowMajor &
+PackedTableau::rowMajorScratch()
+{
+    thread_local RowMajor scratch;
+    return scratch;
+}
+
+void
+PackedTableau::buildRowMajor(RowMajor &out) const
+{
+    const uint32_t rw = wordsForColumns(numQubits_);
+    out.rowWords = rw;
+    const size_t padded_rows = 64 * static_cast<size_t>(words_);
+    // No zero-fill: the tile scatter below overwrites every word (all
+    // 64 rows of every row block, all rw column blocks).
+    out.x.resize(padded_rows * rw);
+    out.z.resize(padded_rows * rw);
+    out.yCount.resize(2 * static_cast<size_t>(numQubits_));
+
+    std::fill(out.yCount.begin(), out.yCount.end(),
+              static_cast<uint8_t>(0));
+
+    uint64_t tile_x[64];
+    uint64_t tile_z[64];
+    for (uint32_t cb = 0; cb < rw; ++cb) {
+        const uint32_t c0 = 64 * cb;
+        const uint32_t cols =
+            numQubits_ - c0 < 64 ? numQubits_ - c0 : 64;
+        for (uint32_t w = 0; w < words_; ++w) {
+            // Gather the 64 column words covering rows [64w, 64w+63],
+            // transpose, scatter into the row words; the per-row Y
+            // counts accumulate while both tiles are in registers.
+            for (uint32_t j = 0; j < cols; ++j) {
+                tile_x[j] = x_[(c0 + j) * static_cast<size_t>(words_) + w];
+                tile_z[j] = z_[(c0 + j) * static_cast<size_t>(words_) + w];
+            }
+            for (uint32_t j = cols; j < 64; ++j) {
+                tile_x[j] = 0;
+                tile_z[j] = 0;
+            }
+            transpose64(tile_x);
+            transpose64(tile_z);
+            const uint32_t r0 = 64 * w;
+            const uint32_t rows =
+                2 * numQubits_ - r0 < 64 ? 2 * numQubits_ - r0 : 64;
+            for (uint32_t i = 0; i < 64; ++i) {
+                out.x[(static_cast<size_t>(r0) + i) * rw + cb] = tile_x[i];
+                out.z[(static_cast<size_t>(r0) + i) * rw + cb] = tile_z[i];
+            }
+            for (uint32_t i = 0; i < rows; ++i)
+                out.yCount[r0 + i] = static_cast<uint8_t>(
+                    (out.yCount[r0 + i] + popcnt(tile_x[i] & tile_z[i])) &
+                    3);
+        }
+    }
+}
+
+void
+PackedTableau::conjugateViaRows(const RowMajor &rm, PauliString &p,
+                                uint64_t *mask, uint64_t *acc_x,
+                                uint64_t *acc_z, uint64_t *fold) const
+{
+    switch (rm.rowWords) {
+      case 1:
+        conjugateViaRowsImpl<1>(rm, p, mask, acc_x, acc_z, fold);
+        break;
+      case 2:
+        conjugateViaRowsImpl<2>(rm, p, mask, acc_x, acc_z, fold);
+        break;
+      case 3:
+        conjugateViaRowsImpl<3>(rm, p, mask, acc_x, acc_z, fold);
+        break;
+      case 4:
+        conjugateViaRowsImpl<4>(rm, p, mask, acc_x, acc_z, fold);
+        break;
+      default:
+        conjugateViaRowsImpl<0>(rm, p, mask, acc_x, acc_z, fold);
+        break;
+    }
+}
+
+template <uint32_t RW>
+void
+PackedTableau::conjugateViaRowsImpl(const RowMajor &rm, PauliString &p,
+                                    uint64_t *mask, uint64_t *acc_x,
+                                    uint64_t *acc_z, uint64_t *fold) const
+{
+    assert(p.numQubits() == numQubits_);
+    assert(RW == 0 || RW == rm.rowWords);
+    buildRowMask(p, mask);
+
+    // Same closed form as the scalar path header comment; the ordered
+    // (z_j, x_l) pair parity is accumulated per multiplied row l as
+    // parity(Zacc & x_l) with Zacc the XOR of all earlier rows' z bits
+    // (parities fold across rows and words because popcount(a ^ b) ==
+    // popcount(a) + popcount(b) mod 2).
+    uint64_t phase_acc = p.phase();
+    for (uint32_t w = 0; w < p.numWords(); ++w)
+        phase_acc += popcnt(p.xWords()[w] & p.zWords()[w]); // one i per Y
+
+    const uint32_t rw = RW != 0 ? RW : rm.rowWords;
+    for (uint32_t u = 0; u < rw; ++u) {
+        acc_x[u] = 0;
+        acc_z[u] = 0;
+        fold[u] = 0;
+    }
+
+    uint32_t sign_rows = 0; // rows contributing -1
+    uint64_t y_rows = 0;    // sum of per-row |x_j & z_j| (mod 4 at end)
+    for (uint32_t w = 0; w < words_; ++w) {
+        sign_rows += popcnt(signs_[w] & mask[w]);
+        uint64_t bits = mask[w];
+        while (bits) {
+            const uint32_t r =
+                64 * w + static_cast<uint32_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            const uint64_t *xr = &rm.x[static_cast<size_t>(r) * rw];
+            const uint64_t *zr = &rm.z[static_cast<size_t>(r) * rw];
+            for (uint32_t u = 0; u < rw; ++u) {
+                fold[u] ^= acc_z[u] & xr[u]; // ordered pairs, j < l
+                acc_x[u] ^= xr[u];
+                acc_z[u] ^= zr[u];
+            }
+            y_rows += rm.yCount[r];
+        }
+    }
+
+    uint64_t pair_fold = 0;
+    uint32_t y_result = 0; // |A & B|
+    for (uint32_t u = 0; u < rw; ++u) {
+        pair_fold ^= fold[u];
+        y_result += popcnt(acc_x[u] & acc_z[u]);
+    }
+    phase_acc += 2 * (sign_rows & 1) + y_rows +
+                 2 * (popcnt(pair_fold) & 1) +
+                 3ULL * (y_result & 3); // 3 == -1 mod 4
+    p.assignWords(std::span<const uint64_t>(acc_x, rw),
+                  std::span<const uint64_t>(acc_z, rw),
+                  static_cast<uint8_t>(phase_acc & 3));
+}
+
+void
+PackedTableau::conjugateBatch(std::span<PauliString> terms,
+                              WorkerPool *pool) const
+{
+    // Below this size the transpose cannot amortize (its fixed cost is
+    // roughly two scalar dense conjugations), so tiny batches take the
+    // scalar paths per term instead.
+    constexpr size_t kMinBatchForTranspose = 3;
+    if (terms.size() < kMinBatchForTranspose) {
+        for (PauliString &term : terms)
+            term = conjugate(term);
+        return;
+    }
+    RowMajor &rm = rowMajorScratch();
+    buildRowMajor(rm);
+
+    const uint32_t rw = rm.rowWords;
+    const auto run = [&](size_t begin, size_t end) {
+        std::vector<uint64_t> scratch(
+            static_cast<size_t>(words_) + 3 * static_cast<size_t>(rw));
+        uint64_t *mask = scratch.data();
+        uint64_t *acc_x = mask + words_;
+        uint64_t *acc_z = acc_x + rw;
+        uint64_t *fold = acc_z + rw;
+        for (size_t i = begin; i < end; ++i)
+            conjugateViaRows(rm, terms[i], mask, acc_x, acc_z, fold);
+    };
+    // Below this size the per-term row walks are cheaper than a pool
+    // dispatch (and would needlessly spawn the lazy workers).
+    constexpr size_t kMinBatchForPool = 16;
+    if (pool != nullptr && terms.size() >= kMinBatchForPool)
+        pool->parallelFor(terms.size(), run);
+    else
+        run(0, terms.size());
 }
 
 void
@@ -433,11 +650,13 @@ void
 PackedTableau::composeWith(const PackedTableau &other)
 {
     assert(other.numQubits_ == numQubits_);
-    // (other . U) P (other . U)~ = other(U(P)).
+    // (other . U) P (other . U)~ = other(U(P)): conjugate all 2n rows
+    // through `other` as one batch so its transpose is built once.
     std::vector<PauliString> rows;
     rows.reserve(2 * static_cast<size_t>(numQubits_));
     for (uint32_t r = 0; r < 2 * numQubits_; ++r)
-        rows.push_back(other.conjugate(rowAt(r)));
+        rows.push_back(rowAt(r));
+    other.conjugateBatch(rows);
     for (uint32_t r = 0; r < 2 * numQubits_; ++r)
         setRow(r, rows[r]);
 }

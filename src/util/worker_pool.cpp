@@ -1,0 +1,139 @@
+#include "util/worker_pool.hpp"
+
+namespace quclear {
+
+uint32_t
+WorkerPool::resolveThreadCount(uint32_t requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? static_cast<uint32_t>(hw) : 1u;
+}
+
+WorkerPool::WorkerPool(uint32_t threads)
+    : threadCount_(resolveThreadCount(threads))
+{
+    // Workers spawn lazily on the first parallel dispatch, so pools
+    // created for inputs too small to ever dispatch cost nothing.
+}
+
+void
+WorkerPool::ensureWorkers()
+{
+    if (!workers_.empty() || threadCount_ <= 1)
+        return;
+    workers_.reserve(threadCount_ - 1);
+    for (uint32_t id = 0; id + 1 < threadCount_; ++id) {
+        try {
+            workers_.emplace_back([this, id] { workerMain(id); });
+        } catch (const std::system_error &) {
+            // Thread spawn failed (resource limits): degrade to the
+            // workers that did start — results are thread-count
+            // invariant by contract, so this only affects speed. The
+            // already-running workers stay consistent because chunking
+            // reads threadCount_ at dispatch time.
+            threadCount_ = static_cast<uint32_t>(workers_.size()) + 1;
+            break;
+        }
+    }
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+WorkerPool::parallelFor(size_t count,
+                        const std::function<void(size_t, size_t)> &chunk)
+{
+    if (count == 0)
+        return;
+    if (threadCount_ > 1)
+        ensureWorkers(); // may shrink threadCount_ on spawn failure
+    if (threadCount_ <= 1 || count == 1) {
+        chunk(0, count);
+        return;
+    }
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        job_ = &chunk;
+        jobCount_ = count;
+        pending_ = threadCount_ - 1;
+        ++generation_;
+        error_ = nullptr;
+    }
+    wake_.notify_all();
+
+    // The calling thread takes the last chunk. A throwing chunk (on
+    // any thread) must not skip the join barrier below — workers still
+    // hold a reference to `chunk` — so exceptions are parked and the
+    // first one rethrown only after every worker has drained.
+    try {
+        const size_t begin =
+            static_cast<size_t>(threadCount_ - 1) * count / threadCount_;
+        if (begin < count)
+            chunk(begin, count);
+    } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_)
+            error_ = std::current_exception();
+    }
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return pending_ == 0; });
+    job_ = nullptr;
+    if (error_) {
+        const std::exception_ptr error = error_;
+        error_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+void
+WorkerPool::workerMain(uint32_t id)
+{
+    uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(size_t, size_t)> *job;
+        size_t count;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [&] { return stop_ || generation_ != seen; });
+            if (stop_)
+                return;
+            seen = generation_;
+            job = job_;
+            count = jobCount_;
+        }
+        const size_t begin = static_cast<size_t>(id) * count / threadCount_;
+        const size_t end =
+            static_cast<size_t>(id + 1) * count / threadCount_;
+        std::exception_ptr error;
+        if (begin < end) {
+            try {
+                (*job)(begin, end);
+            } catch (...) {
+                error = std::current_exception();
+            }
+        }
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (error && !error_)
+                error_ = error;
+            --pending_;
+        }
+        done_.notify_one();
+    }
+}
+
+} // namespace quclear

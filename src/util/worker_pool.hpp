@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Minimal reusable worker pool for the compiler's data-parallel loops.
+ *
+ * The parallel work in this codebase is embarrassingly parallel and
+ * deterministic by construction: every task writes only its own output
+ * slot and reads only shared immutable state, so the result is
+ * bit-identical for every thread count. The pool therefore offers just
+ * one primitive — a blocking parallelFor over a contiguous index range
+ * with static chunking — and resolves a `threads` knob where 0 means
+ * hardware concurrency and 1 means fully inline execution (no worker
+ * threads are spawned at all, so the sequential path stays the exact
+ * code path of a single-threaded build).
+ */
+#ifndef QUCLEAR_UTIL_WORKER_POOL_HPP
+#define QUCLEAR_UTIL_WORKER_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace quclear {
+
+/** Fixed-size pool of worker threads with a blocking parallelFor. */
+class WorkerPool
+{
+  public:
+    /**
+     * @param threads 0 = hardware concurrency, 1 = inline (no workers),
+     *        N = exactly N threads (including the calling thread)
+     */
+    explicit WorkerPool(uint32_t threads = 0);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /**
+     * Threads participating in parallelFor (calling thread included).
+     * Workers spawn lazily on the first dispatch that can use them, so
+     * a pool whose loops all stay under their inline thresholds never
+     * creates a thread; on spawn failure the count degrades to the
+     * workers that did start.
+     */
+    uint32_t threadCount() const { return threadCount_; }
+
+    /** Resolve a `threads` knob: 0 -> hardware concurrency, floor 1. */
+    static uint32_t resolveThreadCount(uint32_t requested);
+
+    /**
+     * Run @p chunk(begin, end) over a static partition of [0, count)
+     * into threadCount() contiguous chunks; blocks until all finish.
+     * The calling thread executes the last chunk itself. Chunks must be
+     * independent (disjoint writes); under that contract the result is
+     * identical for every thread count. If a chunk throws, the first
+     * exception is rethrown here after every worker has drained (the
+     * job is never abandoned mid-flight). Not reentrant: do not call
+     * parallelFor from inside a chunk.
+     */
+    void parallelFor(size_t count,
+                     const std::function<void(size_t, size_t)> &chunk);
+
+  private:
+    /** Spawn the worker threads if not running yet (owner thread only). */
+    void ensureWorkers();
+
+    void workerMain(uint32_t id);
+
+    uint32_t threadCount_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    const std::function<void(size_t, size_t)> *job_ = nullptr;
+    size_t jobCount_ = 0;
+    uint64_t generation_ = 0;
+    uint32_t pending_ = 0;
+    bool stop_ = false;
+    /** First exception a chunk threw; rethrown after the join barrier. */
+    std::exception_ptr error_ = nullptr;
+};
+
+} // namespace quclear
+
+#endif // QUCLEAR_UTIL_WORKER_POOL_HPP

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the batched conjugation kernel and the thread-parallel
+ * compilation paths built on it.
+ *
+ * conjugateBatch transposes the bit-sliced tableau to a row-major
+ * snapshot once and multiplies each term's selected rows out of it; it
+ * must stay bit-identical — phases included — to both the scalar
+ * conjugate() and the row-major ReferenceTableau at qubit counts
+ * straddling the 64-bit word boundaries, for every thread count. On
+ * top of the kernel, the extractor's threaded paths (block-entry batch
+ * conjugation, cache replay, lookahead updates, absorption) must
+ * produce output bit-identical to the sequential threads = 1 path.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/absorption_pre.hpp"
+#include "core/clifford_extractor.hpp"
+#include "tableau/clifford_tableau.hpp"
+#include "tableau/packed_tableau.hpp"
+#include "tableau/reference_tableau.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+#include "util/worker_pool.hpp"
+
+namespace quclear {
+namespace {
+
+constexpr uint32_t kQubitCounts[] = { 1, 63, 64, 65, 128, 256 };
+
+TEST(ConjugateBatchTest, MatchesScalarAndReferenceAcrossWordBoundaries)
+{
+    for (uint32_t n : kQubitCounts) {
+        Rng rng(7000 + n);
+        PackedTableau packed(n);
+        ReferenceTableau ref(n);
+        for (size_t i = 0; i < 6 * n + 30; ++i) {
+            const Gate g = randomCliffordGate(n, rng);
+            packed.appendGate(g);
+            ref.appendGate(g);
+        }
+
+        // Mixed batch: dense, sparse, identity, and phased inputs so
+        // both the amortized transpose and the empty/low-weight row
+        // walks are exercised.
+        std::vector<PauliString> inputs;
+        for (int trial = 0; trial < 33; ++trial) {
+            const double bias = trial % 3 == 0 ? 0.9 : 0.2;
+            inputs.push_back(randomPhasedPauli(n, rng, bias));
+        }
+        PauliString id(n);
+        id.setPhase(3);
+        inputs.push_back(id);
+
+        std::vector<PauliString> batch = inputs;
+        packed.conjugateBatch(batch);
+        ASSERT_EQ(batch.size(), inputs.size());
+        for (size_t i = 0; i < inputs.size(); ++i) {
+            const PauliString want_ref = ref.conjugate(inputs[i]);
+            const PauliString want_scalar = packed.conjugate(inputs[i]);
+            ASSERT_EQ(batch[i], want_ref)
+                << "n=" << n << " term " << i << " input "
+                << inputs[i].toLabel();
+            ASSERT_EQ(batch[i], want_scalar)
+                << "n=" << n << " term " << i;
+        }
+    }
+}
+
+TEST(ConjugateBatchTest, ThreadCountDoesNotChangeResults)
+{
+    for (uint32_t n : { 65u, 128u }) {
+        Rng rng(8000 + n);
+        CliffordTableau tab(n);
+        for (size_t i = 0; i < 4 * n; ++i)
+            tab.appendGate(randomCliffordGate(n, rng));
+
+        std::vector<PauliString> inputs;
+        for (int trial = 0; trial < 41; ++trial)
+            inputs.push_back(randomPhasedPauli(n, rng, trial % 2 ? 0.8 : 0.3));
+
+        std::vector<PauliString> sequential = inputs;
+        tab.conjugateBatch(sequential);
+
+        for (uint32_t threads : { 2u, 3u, 4u }) {
+            WorkerPool pool(threads);
+            std::vector<PauliString> parallel = inputs;
+            tab.conjugateBatch(parallel, &pool);
+            for (size_t i = 0; i < inputs.size(); ++i)
+                ASSERT_EQ(parallel[i], sequential[i])
+                    << "n=" << n << " threads=" << threads << " term "
+                    << i;
+        }
+    }
+}
+
+TEST(ConjugateBatchTest, EmptyAndSingletonBatches)
+{
+    PackedTableau tab(5);
+    tab.appendH(0);
+    tab.appendCX(0, 3);
+
+    std::vector<PauliString> empty;
+    tab.conjugateBatch(empty); // must not crash
+
+    std::vector<PauliString> one{ PauliString::fromLabel("-XYZIX") };
+    const PauliString want = tab.conjugate(one[0]);
+    tab.conjugateBatch(one);
+    EXPECT_EQ(one[0], want);
+}
+
+TEST(WorkerPoolTest, ParallelForCoversEveryIndexExactlyOnce)
+{
+    for (uint32_t threads : { 1u, 2u, 5u }) {
+        WorkerPool pool(threads);
+        EXPECT_EQ(pool.threadCount(), threads);
+        for (size_t count : { size_t{ 0 }, size_t{ 1 }, size_t{ 3 },
+                              size_t{ 64 }, size_t{ 1000 } }) {
+            std::vector<std::atomic<uint32_t>> hits(count);
+            pool.parallelFor(count, [&](size_t begin, size_t end) {
+                ASSERT_LE(begin, end);
+                ASSERT_LE(end, count);
+                for (size_t i = begin; i < end; ++i)
+                    hits[i].fetch_add(1);
+            });
+            for (size_t i = 0; i < count; ++i)
+                EXPECT_EQ(hits[i].load(), 1u)
+                    << "threads=" << threads << " count=" << count
+                    << " index " << i;
+        }
+        // The pool is reusable after a job completes.
+        std::atomic<size_t> total{ 0 };
+        pool.parallelFor(17, [&](size_t begin, size_t end) {
+            total.fetch_add(end - begin);
+        });
+        EXPECT_EQ(total.load(), 17u);
+    }
+}
+
+TEST(WorkerPoolTest, ResolveThreadCount)
+{
+    EXPECT_EQ(WorkerPool::resolveThreadCount(1), 1u);
+    EXPECT_EQ(WorkerPool::resolveThreadCount(7), 7u);
+    EXPECT_GE(WorkerPool::resolveThreadCount(0), 1u);
+}
+
+/**
+ * The acceptance-criterion determinism check: the full extractor with
+ * threads = N must emit the same optimized circuit, tail, conjugator,
+ * and rotation order as the sequential threads = 1 path, bit for bit.
+ * A widened lookahead window exercises the cross-block batch
+ * conjugation path as well.
+ */
+TEST(ThreadedExtractionTest, OutputBitIdenticalToSequential)
+{
+    Rng rng(90125);
+    const uint32_t n = 48;
+    const auto terms = randomSupportTerms(n, 72, 0.75, rng);
+
+    ExtractionConfig sequential_config;
+    sequential_config.threads = 1;
+    sequential_config.tree.maxLookahead = 48;
+    const ExtractionResult sequential =
+        CliffordExtractor(sequential_config).run(terms);
+
+    for (uint32_t threads : { 2u, 4u }) {
+        ExtractionConfig threaded_config = sequential_config;
+        threaded_config.threads = threads;
+        const ExtractionResult threaded =
+            CliffordExtractor(threaded_config).run(terms);
+
+        expectSameCircuit(threaded.optimized, sequential.optimized);
+        expectSameCircuit(threaded.extractedClifford,
+                          sequential.extractedClifford);
+        EXPECT_EQ(threaded.conjugator, sequential.conjugator)
+            << "threads=" << threads;
+        EXPECT_EQ(threaded.rotationTerms, sequential.rotationTerms)
+            << "threads=" << threads;
+    }
+}
+
+TEST(ThreadedExtractionTest, AbsorptionThreadCountInvariant)
+{
+    Rng rng(271828);
+    const uint32_t n = 40;
+    const auto terms = randomSupportTerms(n, 48, 0.7, rng);
+    const ExtractionResult ext = CliffordExtractor().run(terms);
+
+    std::vector<PauliString> observables;
+    for (int k = 0; k < 37; ++k)
+        observables.push_back(randomPhasedPauli(n, rng, k % 2 ? 0.6 : 0.2));
+    for (PauliString &obs : observables)
+        obs.setPhase(0); // observables are Hermitian with + sign
+
+    const auto sequential = absorbObservables(ext, observables, 1);
+    for (uint32_t threads : { 2u, 4u }) {
+        const auto threaded = absorbObservables(ext, observables, threads);
+        ASSERT_EQ(threaded.size(), sequential.size());
+        for (size_t i = 0; i < sequential.size(); ++i) {
+            EXPECT_EQ(threaded[i].transformed, sequential[i].transformed);
+            EXPECT_EQ(threaded[i].sign, sequential[i].sign);
+            EXPECT_EQ(threaded[i].measuredQubits,
+                      sequential[i].measuredQubits);
+            expectSameCircuit(threaded[i].basisChange,
+                              sequential[i].basisChange);
+        }
+    }
+}
+
+} // namespace
+} // namespace quclear

@@ -209,6 +209,143 @@ TEST(RouterTest, LargeCircuitTerminates)
     EXPECT_GT(result.swapCount, 0u);
 }
 
+QuantumCircuit
+randomCxCircuit(uint32_t n, int gates, Rng &rng)
+{
+    QuantumCircuit qc(n);
+    for (int i = 0; i < gates; ++i) {
+        const uint32_t a = static_cast<uint32_t>(rng.uniformInt(n));
+        const uint32_t b = static_cast<uint32_t>(rng.uniformInt(n));
+        if (a != b)
+            qc.cx(a, b);
+        else
+            qc.h(a);
+    }
+    return qc;
+}
+
+/**
+ * Every routed two-qubit gate must land on a physical edge, for every
+ * device topology shipped in src/mapping/devices.cpp — the contract
+ * the Fig. 11 hardware evaluation relies on.
+ */
+TEST(RouterTest, RoutedRespectsCouplingOnEveryDevice)
+{
+    struct NamedDevice
+    {
+        const char *name;
+        CouplingMap map;
+    };
+    const NamedDevice devices[] = {
+        { "manhattanHeavyHex", manhattanHeavyHex() },
+        { "sycamoreGrid", sycamoreGrid() },
+        { "gridDevice(4,4)", gridDevice(4, 4) },
+        { "lineDevice(10)", lineDevice(10) },
+        { "fullyConnected(8)", fullyConnected(8) },
+    };
+    Rng rng(53);
+    for (const auto &device : devices) {
+        SCOPED_TRACE(device.name);
+        const uint32_t n =
+            device.map.numQubits() < 10 ? device.map.numQubits() : 10;
+        const QuantumCircuit qc = randomCxCircuit(n, 60, rng);
+        const auto result = mapToDevice(qc, device.map);
+        expectRoutedValid(qc, device.map, result);
+    }
+}
+
+TEST(RouterTest, SwapCountBoundsOnLine)
+{
+    // A single maximally distant gate on a line: at least distance - 1
+    // swaps are unavoidable, and a sane router stays within a small
+    // multiple of the shortest-path cost.
+    for (const uint32_t n : { 4u, 6u, 8u }) {
+        const CouplingMap dev = lineDevice(n);
+        QuantumCircuit qc(n);
+        qc.cx(0, n - 1);
+        const auto result = sabreRoute(qc, dev, trivialLayout(n));
+        expectRoutedValid(qc, dev, result);
+        EXPECT_GE(result.swapCount, static_cast<size_t>(n) - 2)
+            << "n=" << n;
+        EXPECT_LE(result.swapCount, 3u * (static_cast<size_t>(n) - 2) + 1)
+            << "n=" << n;
+    }
+
+    // An adjacent-only chain needs no routing at all.
+    const uint32_t n = 8;
+    QuantumCircuit chain(n);
+    for (uint32_t q = 0; q + 1 < n; ++q)
+        chain.cx(q, q + 1);
+    const auto routed = sabreRoute(chain, lineDevice(n), trivialLayout(n));
+    EXPECT_EQ(routed.swapCount, 0u);
+}
+
+TEST(RouterTest, SwapCountBoundsOnGrid)
+{
+    // Opposite corners of a 3x3 grid are distance 4 apart: >= 3 swaps
+    // for one gate, and the total stays within a shortest-path multiple
+    // summed over gates.
+    const CouplingMap dev = gridDevice(3, 3);
+    QuantumCircuit qc(9);
+    qc.cx(0, 8);
+    const auto one = sabreRoute(qc, dev, trivialLayout(9));
+    expectRoutedValid(qc, dev, one);
+    EXPECT_GE(one.swapCount, dev.distance(0, 8) - 1);
+    EXPECT_LE(one.swapCount, 3u * (dev.distance(0, 8) - 1) + 1);
+
+    Rng rng(59);
+    const QuantumCircuit many = randomCxCircuit(9, 30, rng);
+    const auto result = sabreRoute(many, dev, trivialLayout(9));
+    expectRoutedValid(many, dev, result);
+    size_t path_bound = 0;
+    for (const Gate &g : many.gates())
+        if (isTwoQubit(g.type))
+            path_bound += 3u * static_cast<size_t>(dev.distance(g.q0, g.q1));
+    EXPECT_LE(result.swapCount, path_bound + many.size());
+}
+
+/**
+ * Layout round trip: greedyLayout must be an injective in-range map on
+ * every device, and replaying the routed circuit's SWAPs over the
+ * initial layout must land exactly on the router's reported
+ * finalLayout.
+ */
+TEST(RouterTest, LayoutRoundTripMatchesFinalLayout)
+{
+    const CouplingMap devices[] = { manhattanHeavyHex(), sycamoreGrid(),
+                                    gridDevice(3, 4), lineDevice(9) };
+    Rng rng(61);
+    for (const CouplingMap &dev : devices) {
+        const uint32_t n = 8;
+        const QuantumCircuit qc = randomCxCircuit(n, 40, rng);
+
+        const auto layout = greedyLayout(qc, dev);
+        ASSERT_EQ(layout.size(), n);
+        std::set<uint32_t> used(layout.begin(), layout.end());
+        EXPECT_EQ(used.size(), n) << "layout must be injective";
+        for (const uint32_t phys : layout)
+            ASSERT_LT(phys, dev.numQubits());
+
+        const auto result = sabreRoute(qc, dev, layout);
+        expectRoutedValid(qc, dev, result);
+
+        // Replay: every SWAP in the routed circuit permutes the
+        // logical -> physical map; the end state must equal finalLayout.
+        std::vector<uint32_t> current = layout;
+        for (const Gate &g : result.routed.gates()) {
+            if (g.type != GateType::Swap)
+                continue;
+            for (uint32_t q = 0; q < n; ++q) {
+                if (current[q] == g.q0)
+                    current[q] = g.q1;
+                else if (current[q] == g.q1)
+                    current[q] = g.q0;
+            }
+        }
+        EXPECT_EQ(current, result.finalLayout);
+    }
+}
+
 TEST(CnotSynthesisTest, RoundTripRandomNetworks)
 {
     Rng rng(47);

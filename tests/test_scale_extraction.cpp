@@ -20,39 +20,17 @@
 #include "tableau/clifford_tableau.hpp"
 #include "tableau/packed_tableau.hpp"
 #include "tableau/reference_tableau.hpp"
+#include "test_support.hpp"
 #include "util/rng.hpp"
 
 namespace quclear {
 namespace {
 
-PauliString
-randomPauli(uint32_t n, Rng &rng, double identity_bias)
-{
-    PauliString p(n);
-    for (uint32_t q = 0; q < n; ++q) {
-        if (!rng.bernoulli(identity_bias))
-            p.setOp(q, static_cast<PauliOp>(1 + rng.uniformInt(3)));
-    }
-    return p;
-}
-
-std::vector<PauliTerm>
-randomTerms(uint32_t n, size_t m, double identity_bias, Rng &rng)
-{
-    std::vector<PauliTerm> terms;
-    while (terms.size() < m) {
-        PauliString p = randomPauli(n, rng, identity_bias);
-        if (!p.isIdentity())
-            terms.emplace_back(std::move(p), rng.uniformReal(-1, 1));
-    }
-    return terms;
-}
-
 TEST(ScaleExtractionTest, RoundTripRecovers128QubitProgram)
 {
     Rng rng(20260729);
     const uint32_t n = 128;
-    const auto terms = randomTerms(n, 96, 0.85, rng);
+    const auto terms = randomSupportTerms(n, 96, 0.85, rng);
     const ExtractionResult result = CliffordExtractor().run(terms);
     ASSERT_TRUE(result.extractedClifford.isClifford());
 
@@ -80,14 +58,14 @@ TEST(ScaleExtractionTest, ConjugatorInvertsTailAt128Qubits)
 {
     Rng rng(424243);
     const uint32_t n = 128;
-    const auto terms = randomTerms(n, 64, 0.8, rng);
+    const auto terms = randomSupportTerms(n, 64, 0.8, rng);
     const ExtractionResult result = CliffordExtractor().run(terms);
 
     // U_CL = E~, so E(U_CL P U_CL~) = P for every P, phases included.
     const CliffordTableau tail_tab =
         CliffordTableau::fromCircuit(result.extractedClifford);
     for (int trial = 0; trial < 16; ++trial) {
-        const PauliString p = randomPauli(n, rng, trial % 2 ? 0.5 : 0.95);
+        const PauliString p = randomSupportPauli(n, rng, trial % 2 ? 0.5 : 0.95);
         EXPECT_EQ(result.conjugator.conjugate(tail_tab.conjugate(p)), p);
     }
 }
@@ -96,7 +74,7 @@ TEST(ScaleExtractionTest, PackedAndReferenceAgreeOnExtractionTail)
 {
     Rng rng(9090);
     const uint32_t n = 112;
-    const auto terms = randomTerms(n, 48, 0.8, rng);
+    const auto terms = randomSupportTerms(n, 48, 0.8, rng);
     const ExtractionResult result = CliffordExtractor().run(terms);
 
     // Replaying the extracted tail on both engines at full width must
@@ -113,7 +91,7 @@ TEST(ScaleExtractionTest, PackedAndReferenceAgreeOnExtractionTail)
         ASSERT_EQ(packed.imageZ(q), ref.imageZ(q)) << "rowZ " << q;
     }
     for (int trial = 0; trial < 8; ++trial) {
-        const PauliString p = randomPauli(n, rng, 0.6);
+        const PauliString p = randomSupportPauli(n, rng, 0.6);
         ASSERT_EQ(packed.conjugate(p), ref.conjugate(p));
     }
 }
@@ -145,8 +123,43 @@ TEST(ScaleExtractionTest, CommutingBlockReorderKeepsRotationCount)
     const CliffordTableau tail_tab =
         CliffordTableau::fromCircuit(result.extractedClifford);
     for (int trial = 0; trial < 8; ++trial) {
-        const PauliString p = randomPauli(n, rng, 0.7);
+        const PauliString p = randomSupportPauli(n, rng, 0.7);
         EXPECT_EQ(result.conjugator.conjugate(tail_tab.conjugate(p)), p);
+    }
+}
+
+TEST(ScaleExtractionTest, ThreadedPathBitIdenticalAt128Qubits)
+{
+    // The nightly threaded-scale check: the full 128-qubit extraction
+    // through the worker pool (batch block entry, parallel cache
+    // replay, threaded lookahead) must emit exactly the sequential
+    // output, and the compiled program must still invert cleanly.
+    Rng rng(77777);
+    const uint32_t n = 128;
+    const auto terms = randomSupportTerms(n, 96, 0.8, rng);
+
+    ExtractionConfig sequential_config;
+    sequential_config.threads = 1;
+    sequential_config.tree.maxLookahead = 40;
+    const ExtractionResult sequential =
+        CliffordExtractor(sequential_config).run(terms);
+
+    ExtractionConfig threaded_config = sequential_config;
+    threaded_config.threads = 4;
+    const ExtractionResult threaded =
+        CliffordExtractor(threaded_config).run(terms);
+
+    expectSameCircuit(threaded.optimized, sequential.optimized);
+    expectSameCircuit(threaded.extractedClifford,
+                      sequential.extractedClifford);
+    EXPECT_EQ(threaded.conjugator, sequential.conjugator);
+    EXPECT_EQ(threaded.rotationTerms, sequential.rotationTerms);
+
+    const CliffordTableau tail_tab =
+        CliffordTableau::fromCircuit(threaded.extractedClifford);
+    for (int trial = 0; trial < 8; ++trial) {
+        const PauliString p = randomSupportPauli(n, rng, 0.7);
+        EXPECT_EQ(threaded.conjugator.conjugate(tail_tab.conjugate(p)), p);
     }
 }
 

@@ -9,32 +9,11 @@
 
 #include "sim/statevector.hpp"
 #include "tableau/stabilizer_simulator.hpp"
+#include "test_support.hpp"
 #include "util/rng.hpp"
 
 namespace quclear {
 namespace {
-
-QuantumCircuit
-randomClifford(uint32_t n, size_t gates, Rng &rng)
-{
-    QuantumCircuit qc(n);
-    while (qc.size() < gates) {
-        const uint32_t q = static_cast<uint32_t>(rng.uniformInt(n));
-        switch (rng.uniformInt(5)) {
-          case 0: qc.h(q); break;
-          case 1: qc.s(q); break;
-          case 2: qc.sdg(q); break;
-          case 3: qc.x(q); break;
-          default: {
-            const uint32_t r = static_cast<uint32_t>(rng.uniformInt(n));
-            if (r != q)
-                qc.cx(q, r);
-            break;
-          }
-        }
-    }
-    return qc;
-}
 
 TEST(StabilizerSimTest, ZeroStateMeasuresZero)
 {
@@ -79,7 +58,7 @@ TEST(StabilizerSimTest, ExpectationMatchesStatevector)
     Rng rng(5);
     for (int trial = 0; trial < 30; ++trial) {
         const uint32_t n = 4;
-        QuantumCircuit qc = randomClifford(n, 20, rng);
+        QuantumCircuit qc = randomCliffordCircuit(n, 20, rng);
         StabilizerSimulator sim(n);
         sim.applyCircuit(qc);
         Statevector sv(n);
@@ -99,7 +78,7 @@ TEST(StabilizerSimTest, SampleMatchesStatevectorDistribution)
 {
     Rng rng(6);
     const uint32_t n = 3;
-    QuantumCircuit qc = randomClifford(n, 15, rng);
+    QuantumCircuit qc = randomCliffordCircuit(n, 15, rng);
     const auto sv_probs = [&] {
         Statevector sv(n);
         sv.applyCircuit(qc);
@@ -174,6 +153,30 @@ TEST(StabilizerSimTest, PauliMeasurementCollapses)
         // And the expectation agrees with the collapsed value.
         EXPECT_EQ(sim.expectation(PauliString::fromLabel("XX")),
                   first ? -1 : 1);
+    }
+}
+
+TEST(StabilizerSimTest, SamplingIsSeedDeterministic)
+{
+    // Identical seeds must reproduce identical count maps (the noise
+    // model's Monte-Carlo tests lean on this), and different seeds must
+    // still agree on the support of the distribution.
+    Rng rng(12);
+    const QuantumCircuit qc = randomCliffordCircuit(4, 25, rng);
+
+    Rng sample_a(99), sample_b(99), sample_c(100);
+    const auto counts_a = StabilizerSimulator::sample(qc, 500, sample_a);
+    const auto counts_b = StabilizerSimulator::sample(qc, 500, sample_b);
+    EXPECT_EQ(counts_a, counts_b);
+
+    const auto counts_c = StabilizerSimulator::sample(qc, 2000, sample_c);
+    Statevector sv(4);
+    sv.applyCircuit(qc);
+    const auto probs = sv.probabilities();
+    for (const auto &[bits, count] : counts_c) {
+        EXPECT_GT(probs[bits], 1e-12)
+            << "sampled bitstring " << bits << " has zero amplitude";
+        EXPECT_GT(count, 0u);
     }
 }
 

@@ -14,50 +14,13 @@
 #include "tableau/clifford_tableau.hpp"
 #include "tableau/packed_tableau.hpp"
 #include "tableau/reference_tableau.hpp"
+#include "test_support.hpp"
 #include "util/rng.hpp"
 
 namespace quclear {
 namespace {
 
 constexpr uint32_t kQubitCounts[] = { 1, 63, 64, 65, 128, 256 };
-
-Gate
-randomCliffordGate(uint32_t n, Rng &rng)
-{
-    const uint32_t q = static_cast<uint32_t>(rng.uniformInt(n));
-    uint32_t r = q;
-    if (n > 1) {
-        while (r == q)
-            r = static_cast<uint32_t>(rng.uniformInt(n));
-    }
-    switch (rng.uniformInt(n > 1 ? 11 : 8)) {
-      case 0: return { GateType::H, q };
-      case 1: return { GateType::S, q };
-      case 2: return { GateType::Sdg, q };
-      case 3: return { GateType::X, q };
-      case 4: return { GateType::Y, q };
-      case 5: return { GateType::Z, q };
-      case 6: return { GateType::SX, q };
-      case 7: return { GateType::SXdg, q };
-      case 8: return { GateType::CX, q, r };
-      case 9: return { GateType::CZ, q, r };
-      default: return { GateType::Swap, q, r };
-    }
-}
-
-PauliString
-randomPauli(uint32_t n, Rng &rng, double identity_bias = 0.0)
-{
-    PauliString p(n);
-    for (uint32_t q = 0; q < n; ++q) {
-        if (identity_bias > 0.0 && rng.bernoulli(identity_bias))
-            continue;
-        p.setOp(q, static_cast<PauliOp>(rng.uniformInt(4)));
-    }
-    if (rng.bernoulli(0.5))
-        p.setPhase(static_cast<uint8_t>(rng.uniformInt(4)));
-    return p;
-}
 
 /** Every row image must match, signs included. */
 void
@@ -105,7 +68,7 @@ TEST(PackedTableauCrossCheck, ConjugatePhasesBitIdentical)
             // Mix dense and sparse inputs so both conjugation paths
             // (column-parallel and gather/multiply) are exercised.
             const double bias = trial % 2 ? 0.9 : 0.2;
-            const PauliString p = randomPauli(n, rng, bias);
+            const PauliString p = randomPhasedPauli(n, rng, bias);
             const PauliString got = packed.conjugate(p);
             const PauliString want = ref.conjugate(p);
             ASSERT_EQ(got, want)
@@ -202,7 +165,7 @@ TEST(PackedTableauCrossCheck, FacadeDelegatesToPackedEngine)
         packed.appendGate(g);
     }
     EXPECT_EQ(facade.packed(), packed);
-    const PauliString p = randomPauli(n, rng);
+    const PauliString p = randomPhasedPauli(n, rng);
     EXPECT_EQ(facade.conjugate(p), packed.conjugate(p));
     EXPECT_EQ(facade.imageX(7), packed.imageX(7));
     EXPECT_EQ(facade.imageZ(64), packed.imageZ(64));

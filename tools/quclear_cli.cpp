@@ -58,6 +58,10 @@ printUsage()
         "  --observables STR  comma-separated Pauli labels to absorb\n"
         "  --qaoa             probability-mode absorption (Prop. 1)\n"
         "  --no-local-opt     skip the local-rewrite pipeline\n"
+        "  --threads N        worker threads for the batched/parallel\n"
+        "                     compilation paths (0 = hardware\n"
+        "                     concurrency, 1 = sequential; the output\n"
+        "                     is identical for every value)\n"
         "  --verify           prove equivalence (dense sim, <= 12 qubits)\n"
         "  --noise P1,P2      fidelity estimate with depolarizing rates\n"
         "  --hamiltonian FILE absorb a Pauli-sum Hamiltonian (text\n"
@@ -75,11 +79,33 @@ main(int argc, char **argv)
     std::string input_path, output_path, observables_arg, noise_arg;
     std::string hamiltonian_path;
     bool qaoa = false, verify = false, local_opt = true;
+    uint32_t threads = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "-o" && i + 1 < argc) {
             output_path = argv[++i];
+        } else if (arg == "--threads" && i + 1 < argc) {
+            // stoul silently wraps negatives, so validate by hand:
+            // digits only, sane upper bound.
+            const std::string value = argv[++i];
+            const bool digits_only =
+                !value.empty() &&
+                value.find_first_not_of("0123456789") == std::string::npos;
+            unsigned long parsed = 0;
+            if (digits_only) {
+                try {
+                    parsed = std::stoul(value);
+                } catch (const std::exception &) {
+                    parsed = 1025; // out_of_range -> rejected below
+                }
+            }
+            if (!digits_only || parsed > 1024) {
+                std::fprintf(stderr, "invalid --threads value: %s\n",
+                             value.c_str());
+                return 2;
+            }
+            threads = static_cast<uint32_t>(parsed);
         } else if (arg == "--observables" && i + 1 < argc) {
             observables_arg = argv[++i];
         } else if (arg == "--noise" && i + 1 < argc) {
@@ -126,6 +152,7 @@ main(int argc, char **argv)
 
     QuClearOptions options;
     options.applyLocalOptimization = local_opt;
+    options.extraction.threads = threads;
     const QuClear compiler(options);
 
     Timer timer;
