@@ -5,8 +5,14 @@
  * (Fig. 7(b)), full grouped recursion (Algorithm 1), grouped recursion
  * plus exhaustive small-support search (our default), and beam search.
  * Reported for one representative benchmark per workload family.
+ *
+ * Emits BENCH_ablation.json: one row per benchmark with
+ * results.<strategy> {cnot, seconds} (keys: chain, grouped, recursive,
+ * rec_exhaustive, beam8; rec_exhaustive is the library default).
  */
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/quclear.hpp"
@@ -19,7 +25,8 @@ using namespace quclear;
 
 struct Strategy
 {
-    const char *name;
+    const char *name; //!< human label (table rows)
+    const char *key;  //!< JSON results key
     TreeSynthesisConfig tree;
 };
 
@@ -28,28 +35,29 @@ strategies()
 {
     std::vector<Strategy> list;
     {
-        Strategy s{ "chain", {} };
+        Strategy s{ "chain", "chain", {} };
         s.tree.maxLookahead = 0;
         s.tree.exhaustiveThreshold = 0;
         list.push_back(s);
     }
     {
-        Strategy s{ "grouped", {} };
+        Strategy s{ "grouped", "grouped", {} };
         s.tree.recursive = false;
         s.tree.exhaustiveThreshold = 0;
         list.push_back(s);
     }
     {
-        Strategy s{ "recursive", {} };
+        Strategy s{ "recursive", "recursive", {} };
         s.tree.exhaustiveThreshold = 0;
         list.push_back(s);
     }
     {
-        Strategy s{ "rec+exhaustive", {} }; // library default
+        // library default
+        Strategy s{ "rec+exhaustive", "rec_exhaustive", {} };
         list.push_back(s);
     }
     {
-        Strategy s{ "beam8", {} };
+        Strategy s{ "beam8", "beam8", {} };
         s.tree.beamWidth = 8;
         list.push_back(s);
     }
@@ -65,31 +73,53 @@ main()
 
     std::printf("=== Ablation: CNOT-tree synthesis strategy "
                 "(CNOTs / compile seconds) ===\n");
-    const std::vector<std::string> names = { "UCC-(4,8)", "benzene",
-                                             "LABS-(n15)",
-                                             "MaxCut-(n20,r8)" };
-    std::vector<std::string> headers = { "Strategy" };
-    headers.insert(headers.end(), names.begin(), names.end());
-    TablePrinter table(headers);
+    const std::vector<std::string> names =
+        selectedScale() == BenchScale::Smoke
+            ? std::vector<std::string>{ "UCC-(2,4)", "MaxCut-(n10,e12)" }
+            : std::vector<std::string>{ "UCC-(4,8)", "benzene",
+                                        "LABS-(n15)",
+                                        "MaxCut-(n20,r8)" };
+    const std::vector<Strategy> strategy_list = strategies();
 
-    for (const Strategy &strategy : strategies()) {
-        std::vector<std::string> row = { strategy.name };
-        for (const auto &name : names) {
-            const Benchmark b = makeBenchmark(name);
+    BenchReport report("ablation",
+                       "CNOT-tree synthesis strategy ablation "
+                       "(cumulative design points)");
+
+    // Benchmark-major rows in the artifact (the schema keys result
+    // groups by variant); strategy-major rows in the human table.
+    std::vector<std::vector<std::string>> cells(
+        strategy_list.size(),
+        std::vector<std::string>{});
+    for (size_t s = 0; s < strategy_list.size(); ++s)
+        cells[s].push_back(strategy_list[s].name);
+
+    for (const auto &name : names) {
+        const Benchmark b = makeBenchmark(name);
+        JsonValue &row = report.addRow(name, &b);
+        for (size_t s = 0; s < strategy_list.size(); ++s) {
             QuClearOptions options;
-            options.extraction.tree = strategy.tree;
+            options.extraction.tree = strategy_list[s].tree;
             Timer timer;
             const auto program = QuClear(options).compile(b.terms);
             const double secs = timer.seconds();
-            row.push_back(
-                std::to_string(program.circuit().twoQubitCount(true)) +
-                " / " + TablePrinter::fmt(secs, 3));
+            const size_t cx = program.circuit().twoQubitCount(true);
+            cells[s].push_back(std::to_string(cx) + " / " +
+                               TablePrinter::fmt(secs, 3));
+            JsonValue &res = row["results"][strategy_list[s].key];
+            res["cnot"] = cx;
+            res["seconds"] = secs;
         }
-        table.addRow(std::move(row));
     }
+
+    std::vector<std::string> headers = { "Strategy" };
+    headers.insert(headers.end(), names.begin(), names.end());
+    TablePrinter table(headers);
+    for (auto &row_cells : cells)
+        table.addRow(std::move(row_cells));
     std::fputs(table.toString().c_str(), stdout);
     writeCsvIfRequested("ablation", table);
     std::printf("(rows are cumulative design points; 'rec+exhaustive' is "
                 "the library default)\n");
+    report.write();
     return 0;
 }

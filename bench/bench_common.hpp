@@ -1,57 +1,65 @@
 /**
  * @file
- * Shared helpers for the bench harnesses: benchmark selection (fast set
- * by default, full 19-row suite with QUCLEAR_FULL=1) and paper reference
- * values for side-by-side comparison.
+ * Shared results layer for the bench harnesses.
+ *
+ * Three responsibilities:
+ *  - benchmark selection: a four-step scale ladder (smoke / fast /
+ *    full / paper) driven by QUCLEAR_SCALE, with the legacy
+ *    QUCLEAR_FULL=1 switch kept as an alias for "full";
+ *  - paper reference values (Table II / III rows) for side-by-side
+ *    comparison;
+ *  - machine-readable artifacts: every harness builds a BenchReport
+ *    and emits a schema-versioned BENCH_<name>.json next to its human
+ *    table output, so `tools/reproduce` can collate and
+ *    `scripts/plot_figures.py` can render the paper figures without
+ *    re-running the binaries. CSV output (QUCLEAR_CSV_DIR) is kept for
+ *    spreadsheet workflows.
  */
 #ifndef QUCLEAR_BENCH_BENCH_COMMON_HPP
 #define QUCLEAR_BENCH_BENCH_COMMON_HPP
 
-#include <cstdio>
-#include <cstdlib>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "benchgen/suite.hpp"
+#include "util/json_writer.hpp"
 #include "util/table_printer.hpp"
 
 namespace quclear::bench {
 
-/** True when the QUCLEAR_FULL environment variable is set to 1. */
-inline bool
-fullSuiteRequested()
+/**
+ * How much of the evaluation a harness run covers. Selected with the
+ * QUCLEAR_SCALE environment variable ("smoke", "fast", "full",
+ * "paper"); unset or unrecognized values mean Fast. QUCLEAR_FULL=1 is
+ * honored as a legacy alias for Full.
+ */
+enum class BenchScale
 {
-    const char *env = std::getenv("QUCLEAR_FULL");
-    return env != nullptr && std::string(env) == "1";
-}
+    Smoke, //!< few tiny instances — CI artifact smoke (seconds)
+    Fast,  //!< default: Table II minus the two largest UCC rows
+    Full,  //!< all 19 paper rows, incl. UCC-(8,16) and UCC-(10,20)
+    Paper, //!< full + the extended paper-scale instances (hours)
+};
 
-/** Benchmark names to run, honoring QUCLEAR_FULL. */
-inline std::vector<std::string>
-selectedBenchmarks()
-{
-    return fullSuiteRequested() ? allBenchmarkNames()
-                                : fastBenchmarkNames();
-}
+/** The scale selected by the environment (see BenchScale). */
+BenchScale selectedScale();
+
+/** Lower-case name of a scale ("smoke" ... "paper"). */
+const char *scaleName(BenchScale scale);
+
+/** True when the scale is Full or Paper (legacy helper). */
+bool fullSuiteRequested();
+
+/** Benchmark names to run at the selected scale. */
+std::vector<std::string> selectedBenchmarks();
 
 /**
  * Write a table as CSV into $QUCLEAR_CSV_DIR/<name>.csv when that
- * environment variable is set (for downstream plotting), mirroring the
- * original artifact's JSON result files.
+ * environment variable is set (for spreadsheet workflows). The JSON
+ * artifact written by BenchReport is the canonical machine output.
  */
-inline void
-writeCsvIfRequested(const std::string &name, const TablePrinter &table)
-{
-    const char *dir = std::getenv("QUCLEAR_CSV_DIR");
-    if (!dir)
-        return;
-    const std::string path = std::string(dir) + "/" + name + ".csv";
-    std::ofstream out(path);
-    if (out) {
-        out << table.toCsv();
-        std::printf("(csv written to %s)\n", path.c_str());
-    }
-}
+void writeCsvIfRequested(const std::string &name,
+                         const TablePrinter &table);
 
 /** Paper-reported values for one Table II / Table III row. */
 struct PaperRow
@@ -64,49 +72,71 @@ struct PaperRow
 };
 
 /** Table II/III reference values from the paper (0 = not applicable). */
-inline PaperRow
-paperRow(const std::string &name)
+PaperRow paperRow(const std::string &name);
+
+/**
+ * One harness run's machine-readable artifact.
+ *
+ * Usage:
+ * @code
+ *   BenchReport report("fig9", "QuCLEAR with vs without local opt");
+ *   report.config()["paper_geomean_reduction_pct"] = 4.4;
+ *   JsonValue &row = report.addRow(b.name, &b);
+ *   row["results"]["no_opt"]["cnot"] = cx_raw;
+ *   row["results"]["no_opt"]["seconds"] = time_raw;
+ *   report.summary()["geomean_reduction_pct"] = geo;
+ *   report.write();
+ * @endcode
+ *
+ * The emitted document follows schema "quclear-bench-artifact/v1":
+ *   schema, harness, title, git_sha, scale, config (object),
+ *   rows (array of {benchmark, qubits?, terms?, paper?, results{...}}),
+ *   summary (object).
+ * Every row metric group under "results" is keyed by the
+ * compiler/variant name (quclear, qiskit, rustiq, paulihedral, tket,
+ * tetris, naive, ...) and holds numeric leaves (cnot, depth, seconds,
+ * ...). The file is written to $QUCLEAR_ARTIFACT_DIR (default: the
+ * current directory) as BENCH_<harness>.json.
+ */
+class BenchReport
 {
-    if (name == "UCC-(2,4)")
-        return { 24, 128, 264, 23, 17 };
-    if (name == "UCC-(2,6)")
-        return { 80, 544, 944, 106, 82 };
-    if (name == "UCC-(4,8)")
-        return { 320, 2624, 3968, 448, 335 };
-    if (name == "UCC-(6,12)")
-        return { 1656, 18048, 21096, 2580, 1832 };
-    if (name == "UCC-(8,16)")
-        return { 5376, 72960, 69120, 8820, 6153 };
-    if (name == "UCC-(10,20)")
-        return { 13400, 217600, 173000, 24302, 15979 };
-    if (name == "LiH")
-        return { 61, 254, 421, 74, 60 };
-    if (name == "H2O")
-        return { 184, 1088, 1624, 274, 189 };
-    if (name == "benzene")
-        return { 1254, 10060, 12390, 2470, 1481 };
-    if (name == "LABS-(n10)")
-        return { 80, 340, 100, 106, 76 };
-    if (name == "LABS-(n15)")
-        return { 267, 1316, 297, 385, 255 };
-    if (name == "LABS-(n20)")
-        return { 635, 3330, 675, 1052, 679 };
-    if (name == "MaxCut-(n15,r4)")
-        return { 45, 60, 75, 68, 32 };
-    if (name == "MaxCut-(n20,r4)")
-        return { 60, 80, 100, 88, 34 };
-    if (name == "MaxCut-(n20,r8)")
-        return { 100, 160, 140, 129, 59 };
-    if (name == "MaxCut-(n20,r12)")
-        return { 140, 240, 180, 172, 93 };
-    if (name == "MaxCut-(n10,e12)")
-        return { 22, 24, 42, 26, 21 };
-    if (name == "MaxCut-(n15,e63)")
-        return { 78, 126, 108, 93, 51 };
-    if (name == "MaxCut-(n20,e117)")
-        return { 137, 234, 177, 146, 65 };
-    return { 0, 0, 0, 0, 0 };
-}
+  public:
+    BenchReport(const std::string &harness, const std::string &title);
+
+    /** Harness-specific configuration knobs (object). */
+    JsonValue &config();
+
+    /** Aggregate results, e.g. geomeans (object). */
+    JsonValue &summary();
+
+    /**
+     * Append a row for @p benchmark_name. When @p instance is given,
+     * its qubit/term counts and the paper's reference values (when the
+     * benchmark is a paper row) are recorded on the row.
+     */
+    JsonValue &addRow(const std::string &benchmark_name,
+                      const Benchmark *instance = nullptr);
+
+    /** The whole document, for fields not covered by the helpers. */
+    JsonValue &doc() { return doc_; }
+
+    /**
+     * Write BENCH_<harness>.json into the artifact directory and print
+     * a notice.
+     * @return the path written, or "" when the file could not be opened
+     */
+    std::string write() const;
+
+  private:
+    std::string harness_;
+    JsonValue doc_;
+};
+
+/** $QUCLEAR_ARTIFACT_DIR, or "." when unset. */
+std::string artifactDirectory();
+
+/** The git SHA baked in at configure time (env override: same name). */
+std::string gitSha();
 
 } // namespace quclear::bench
 

@@ -5,6 +5,10 @@
  * depolarizing noise model — the physical motivation the paper's
  * introduction gives for circuit optimization. Rates default to
  * 0.03% / 0.5% (1q / 2q), typical of current superconducting devices.
+ *
+ * Emits BENCH_fidelity.json: one row per benchmark with
+ * results.<compiler> {success_probability, seconds}; the noise rates
+ * and the term-count skip threshold are recorded in config.
  */
 #include <cstdio>
 
@@ -16,6 +20,7 @@
 #include "core/quclear.hpp"
 #include "sim/noise_model.hpp"
 #include "util/table_printer.hpp"
+#include "util/timer.hpp"
 
 int
 main()
@@ -26,36 +31,79 @@ main()
     std::printf("=== Estimated success probability (depolarizing "
                 "3e-4 / 5e-3) ===\n");
     const NoiseModel noise;
+    // Instances whose circuits are so large every estimate underflows
+    // to ~0 are skipped (the comparison is uninformative there).
+    const size_t skip_above_terms = 2000;
     TablePrinter table({ "Name", "QuCLEAR", "Qiskit", "Rustiq", "PH",
                          "tket" });
+    BenchReport report("fidelity",
+                       "Estimated end-to-end success probability under "
+                       "depolarizing noise");
+    report.config()["single_qubit_error"] = noise.singleQubitError;
+    report.config()["two_qubit_error"] = noise.twoQubitError;
+    report.config()["skip_above_terms"] = skip_above_terms;
+
+    // Known sizes (Table II rows + the pinned paper-scale counts from
+    // test_benchgen) let over-threshold instances be skipped without
+    // generating them; the post-generation check below stays
+    // authoritative if these drift.
+    const auto known_terms = [](const std::string &n) -> size_t {
+        if (const size_t paper = paperRow(n).paulis)
+            return paper;
+        if (n == "UCC-(12,24)")
+            return 35136;
+        if (n == "naphthalene")
+            return 3066;
+        if (n == "LABS-(n30)")
+            return 2165;
+        return 0;
+    };
 
     for (const auto &name : selectedBenchmarks()) {
+        if (known_terms(name) > skip_above_terms)
+            continue;
         const Benchmark b = makeBenchmark(name);
-        // Skip instances whose circuits are so large every estimate
-        // underflows to ~0 (the comparison is uninformative there).
-        if (b.terms.size() > 2000)
+        if (b.terms.size() > skip_above_terms)
             continue;
 
+        Timer quclear_timer;
         const QuClear compiler;
         auto program = compiler.compile(b.terms);
         const QuantumCircuit quclear_circuit =
             b.isQaoa() ? compiler.absorbProbabilities(program)
                              .deviceCircuit
                        : program.circuit();
+        const double quclear_seconds = quclear_timer.seconds();
 
-        auto fidelity = [&](const QuantumCircuit &qc) {
-            return TablePrinter::fmt(
-                noise.estimatedSuccessProbability(qc), 4);
+        JsonValue &row = report.addRow(name, &b);
+        auto record = [&](const char *key, const QuantumCircuit &qc,
+                          double seconds) {
+            const double p = noise.estimatedSuccessProbability(qc);
+            JsonValue &res = row["results"][key];
+            res["success_probability"] = p;
+            res["seconds"] = seconds;
+            return TablePrinter::fmt(p, 4);
         };
-        table.addRow({ name, fidelity(quclear_circuit),
-                       fidelity(qiskitBaseline(b.terms)),
-                       fidelity(rustiqLikeCompile(b.terms)),
-                       fidelity(paulihedralCompile(b.terms)),
-                       fidelity(tketLikeCompile(b.terms)) });
+        auto timed = [&](const char *key, auto &&compile) {
+            Timer t;
+            const QuantumCircuit qc = compile();
+            const double seconds = t.seconds();
+            return record(key, qc, seconds);
+        };
+        table.addRow({
+            name,
+            record("quclear", quclear_circuit, quclear_seconds),
+            timed("qiskit", [&] { return qiskitBaseline(b.terms); }),
+            timed("rustiq", [&] { return rustiqLikeCompile(b.terms); }),
+            timed("paulihedral",
+                  [&] { return paulihedralCompile(b.terms); }),
+            timed("tket", [&] { return tketLikeCompile(b.terms); }),
+        });
     }
     std::fputs(table.toString().c_str(), stdout);
     writeCsvIfRequested("fidelity", table);
     std::printf("(higher is better; rows with >2000 terms are skipped "
                 "because every estimate underflows)\n");
+    report.write();
     return 0;
 }

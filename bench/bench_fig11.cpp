@@ -6,8 +6,16 @@
  * comparing post-routing CNOT counts (SWAPs count as 3 CNOTs) across
  * compilers. The benchmark set follows the paper: the largest instance
  * of each circuit type.
+ *
+ * Emits BENCH_fig11.json: one row per (device, benchmark) with
+ * results.<compiler> {routed_cnot, compile_seconds, route_seconds} for
+ * quclear / qiskit / paulihedral / tket / tetris. Each benchmark is
+ * compiled once per compiler and the circuit routed to both devices.
  */
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/naive_synthesis.hpp"
 #include "baselines/paulihedral.hpp"
@@ -18,17 +26,18 @@
 #include "mapping/devices.hpp"
 #include "mapping/sabre_router.hpp"
 #include "util/table_printer.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
 using namespace quclear;
 
-size_t
-routedCnots(const QuantumCircuit &qc, const CouplingMap &device)
+struct CompiledEntry
 {
-    const RoutingResult result = mapToDevice(qc, device);
-    return result.routed.twoQubitCount(true);
-}
+    const char *key; //!< JSON results key
+    QuantumCircuit circuit;
+    double compileSeconds;
+};
 
 } // namespace
 
@@ -38,54 +47,121 @@ main()
     using namespace quclear::bench;
 
     // The paper maps UCC-(10,20), benzene, LABS-(n20), MaxCut-(n20,r12);
-    // UCC-(10,20) joins under QUCLEAR_FULL=1 (routing ~50k gates).
-    std::vector<std::string> names = { "benzene", "LABS-(n20)",
-                                       "MaxCut-(n20,r12)" };
-    if (fullSuiteRequested())
-        names.insert(names.begin(), "UCC-(10,20)");
+    // UCC-(10,20) joins at full/paper scale (routing ~50k gates), and
+    // the smoke tier swaps in the small instances.
+    std::vector<std::string> names;
+    switch (selectedScale()) {
+      case BenchScale::Smoke:
+        names = { "LABS-(n10)", "MaxCut-(n10,e12)" };
+        break;
+      case BenchScale::Fast:
+        names = { "benzene", "LABS-(n20)", "MaxCut-(n20,r12)" };
+        break;
+      case BenchScale::Full:
+        names = { "UCC-(10,20)", "benzene", "LABS-(n20)",
+                  "MaxCut-(n20,r12)" };
+        break;
+      case BenchScale::Paper:
+        names = { "UCC-(10,20)", "benzene", "naphthalene", "LABS-(n20)",
+                  "LABS-(n25)", "MaxCut-(n20,r12)", "MaxCut-(n30,r4)" };
+        break;
+    }
 
-    for (const auto &[device_name, device] :
-         { std::pair<const char *, CouplingMap>{ "Sycamore (8x8 grid)",
-                                                 sycamoreGrid() },
-           std::pair<const char *, CouplingMap>{
-               "Manhattan (heavy-hex)", manhattanHeavyHex() } }) {
-        std::printf("=== Fig. 11: mapping to %s ===\n", device_name);
-        TablePrinter table(
-            { "Name", "QuCLEAR", "Qiskit", "PH", "tket", "Tetris" });
-        for (const auto &name : names) {
-            const Benchmark b = makeBenchmark(name);
+    struct DeviceEntry
+    {
+        const char *key;
+        const char *title;
+        CouplingMap coupling;
+    };
+    const std::vector<DeviceEntry> devices = {
+        { "sycamore", "Sycamore (8x8 grid)", sycamoreGrid() },
+        { "manhattan", "Manhattan (heavy-hex)", manhattanHeavyHex() },
+    };
 
+    BenchReport report(
+        "fig11", "Post-routing CNOT counts on limited-connectivity "
+                 "devices (SWAP = 3 CNOTs)");
+    std::vector<TablePrinter> tables(
+        devices.size(),
+        TablePrinter({ "Name", "QuCLEAR", "Qiskit", "PH", "tket",
+                       "Tetris" }));
+
+    for (const auto &name : names) {
+        const Benchmark b = makeBenchmark(name);
+
+        std::vector<CompiledEntry> compiled;
+        {
+            Timer t;
             const QuClear compiler;
             auto program = compiler.compile(b.terms);
-            const QuantumCircuit quclear_circuit =
+            QuantumCircuit circuit =
                 b.isQaoa()
                     ? compiler.absorbProbabilities(program).deviceCircuit
                     : program.circuit();
+            compiled.push_back(
+                { "quclear", std::move(circuit), t.seconds() });
+        }
+        {
+            Timer t;
+            QuantumCircuit circuit = qiskitBaseline(b.terms);
+            compiled.push_back(
+                { "qiskit", std::move(circuit), t.seconds() });
+        }
+        {
+            Timer t;
+            QuantumCircuit circuit = paulihedralCompile(b.terms);
+            compiled.push_back(
+                { "paulihedral", std::move(circuit), t.seconds() });
+        }
+        {
+            Timer t;
+            QuantumCircuit circuit = tketLikeCompile(b.terms);
+            compiled.push_back(
+                { "tket", std::move(circuit), t.seconds() });
+        }
 
+        for (size_t d = 0; d < devices.size(); ++d) {
+            const CouplingMap &device = devices[d].coupling;
+
+            // Tetris is connectivity-aware, so it compiles per device.
             TetrisConfig tetris_config;
             tetris_config.device = &device;
+            Timer tetris_timer;
+            QuantumCircuit tetris_circuit =
+                tetrisLikeCompile(b.terms, tetris_config);
+            const double tetris_seconds = tetris_timer.seconds();
 
-            table.addRow({
-                name,
-                std::to_string(routedCnots(quclear_circuit, device)),
-                std::to_string(
-                    routedCnots(qiskitBaseline(b.terms), device)),
-                std::to_string(
-                    routedCnots(paulihedralCompile(b.terms), device)),
-                std::to_string(
-                    routedCnots(tketLikeCompile(b.terms), device)),
-                std::to_string(routedCnots(
-                    tetrisLikeCompile(b.terms, tetris_config), device)),
-            });
+            JsonValue &row = report.addRow(name, &b);
+            row["device"] = devices[d].key;
+
+            std::vector<std::string> cells = { name };
+            auto route = [&](const char *key, const QuantumCircuit &qc,
+                             double compile_seconds) {
+                Timer t;
+                const RoutingResult routed = mapToDevice(qc, device);
+                const size_t cx = routed.routed.twoQubitCount(true);
+                JsonValue &res = row["results"][key];
+                res["routed_cnot"] = cx;
+                res["compile_seconds"] = compile_seconds;
+                res["route_seconds"] = t.seconds();
+                cells.push_back(std::to_string(cx));
+            };
+            for (const CompiledEntry &entry : compiled)
+                route(entry.key, entry.circuit, entry.compileSeconds);
+            route("tetris", tetris_circuit, tetris_seconds);
+            tables[d].addRow(std::move(cells));
         }
-        std::fputs(table.toString().c_str(), stdout);
-        writeCsvIfRequested(std::string("fig11_") +
-                                (device.numQubits() == 64 ? "sycamore"
-                                                          : "manhattan"),
-                            table);
+    }
+
+    for (size_t d = 0; d < devices.size(); ++d) {
+        std::printf("=== Fig. 11: mapping to %s ===\n", devices[d].title);
+        std::fputs(tables[d].toString().c_str(), stdout);
+        writeCsvIfRequested(std::string("fig11_") + devices[d].key,
+                            tables[d]);
         std::printf("\n");
     }
     std::printf("(Rustiq is excluded from mapping, as in the paper; "
-                "set QUCLEAR_FULL=1 to add UCC-(10,20))\n");
+                "set QUCLEAR_SCALE=full to add UCC-(10,20))\n");
+    report.write();
     return 0;
 }

@@ -5,12 +5,17 @@
  * Exact matches are expected for the QAOA rows (the generators pin term
  * counts); UCCSD rows follow the spinless enumeration documented in
  * DESIGN.md section 4.
+ *
+ * Emits BENCH_table2.json: one row per benchmark with results.native
+ * {cnot, single_qubit, seconds}; qubit/term counts and the paper's
+ * reference values ride on the row itself.
  */
 #include <cstdio>
 
 #include "baselines/naive_synthesis.hpp"
 #include "bench_common.hpp"
 #include "util/table_printer.hpp"
+#include "util/timer.hpp"
 
 int
 main()
@@ -22,9 +27,14 @@ main()
                 "(native counts, ours vs paper) ===\n");
     TablePrinter table({ "Name", "#qubits", "#Pauli", "paper#Pauli",
                          "#CNOT", "paper#CNOT", "#1Q", "paper#1Q" });
+    BenchReport report("table2",
+                       "Benchmark information: native V-shape synthesis "
+                       "gate counts vs the paper");
     for (const auto &name : selectedBenchmarks()) {
         const Benchmark b = makeBenchmark(name);
+        Timer timer;
         const QuantumCircuit native = naiveSynthesis(b.terms);
+        const double seconds = timer.seconds();
         const PaperRow paper = paperRow(name);
         table.addRow({
             name,
@@ -36,10 +46,18 @@ main()
             std::to_string(native.singleQubitCount()),
             std::to_string(paper.native1q),
         });
+
+        JsonValue &row = report.addRow(name, &b);
+        JsonValue &res = row["results"]["native"];
+        res["cnot"] = native.twoQubitCount(true);
+        res["single_qubit"] = native.singleQubitCount();
+        res["seconds"] = seconds;
     }
     std::fputs(table.toString().c_str(), stdout);
     writeCsvIfRequested("table2", table);
     if (!fullSuiteRequested())
-        std::printf("(set QUCLEAR_FULL=1 for the two largest UCC rows)\n");
+        std::printf("(set QUCLEAR_SCALE=full for the two largest UCC "
+                    "rows)\n");
+    report.write();
     return 0;
 }

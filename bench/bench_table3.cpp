@@ -9,6 +9,11 @@
  * the optimized circuit (the Clifford tail is absorbed into the
  * observables). The paper's QuCLEAR CNOT/depth columns are printed for
  * side-by-side shape comparison.
+ *
+ * Emits BENCH_table3.json: one row per benchmark with
+ * results.<compiler> {cnot, depth, seconds} for quclear / qiskit /
+ * rustiq / paulihedral / tket — the headline artifact of the
+ * reproduction.
  */
 #include <cstdio>
 
@@ -60,6 +65,9 @@ main()
                                "Qiskit", "Rustiq", "PH", "tket" });
     TablePrinter time_table({ "Name", "QuCLEAR(s)", "Qiskit(s)",
                               "Rustiq(s)", "PH(s)", "tket(s)" });
+    BenchReport report("table3",
+                       "CNOT / entangling depth / compile time on a "
+                       "fully connected device");
 
     for (const auto &name : selectedBenchmarks()) {
         const Benchmark b = makeBenchmark(name);
@@ -96,6 +104,19 @@ main()
                             TablePrinter::fmt(rustiq.seconds),
                             TablePrinter::fmt(ph.seconds),
                             TablePrinter::fmt(tket.seconds) });
+
+        JsonValue &row = report.addRow(name, &b);
+        auto record = [&](const char *key, const Row &r) {
+            JsonValue &res = row["results"][key];
+            res["cnot"] = r.cx;
+            res["depth"] = r.depth;
+            res["seconds"] = r.seconds;
+        };
+        record("quclear", quclear);
+        record("qiskit", qiskit);
+        record("rustiq", rustiq);
+        record("paulihedral", ph);
+        record("tket", tket);
     }
 
     std::printf("\n--- CNOT gate count ---\n%s",
@@ -108,6 +129,8 @@ main()
                 time_table.toString().c_str());
     writeCsvIfRequested("table3_time", time_table);
     if (!fullSuiteRequested())
-        std::printf("(set QUCLEAR_FULL=1 for the two largest UCC rows)\n");
+        std::printf("(set QUCLEAR_SCALE=full for the two largest UCC "
+                    "rows)\n");
+    report.write();
     return 0;
 }

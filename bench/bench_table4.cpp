@@ -4,6 +4,10 @@
  * observables (UCC-(10,20), CA-Pre observable mode) and versus the
  * number of measured states (MaxCut-(n20,r12), CA-Post probability
  * mode). The paper's claim is linear scaling in both.
+ *
+ * Emits BENCH_table4.json: one row per size point and mode
+ * ({mode: "observables"|"states", size, seconds}); the instances used
+ * for each mode are recorded in config.
  */
 #include <cstdio>
 
@@ -22,16 +26,31 @@ main()
     using namespace quclear::bench;
 
     std::printf("=== Table IV: Clifford Absorption runtime (s) ===\n");
-    const std::vector<size_t> sizes = { 10, 50, 100, 500, 1000, 5000 };
+    const bool smoke = selectedScale() == BenchScale::Smoke;
+    const std::vector<size_t> sizes =
+        smoke ? std::vector<size_t>{ 10, 50, 100 }
+              : std::vector<size_t>{ 10, 50, 100, 500, 1000, 5000 };
 
     // --- Observable mode on the largest chemistry benchmark. ---
     const Benchmark ucc = makeBenchmark(
-        fullSuiteRequested() ? "UCC-(10,20)" : "UCC-(6,12)");
+        fullSuiteRequested() ? "UCC-(10,20)"
+                             : (smoke ? "UCC-(2,6)" : "UCC-(6,12)"));
     const ExtractionResult ucc_ext = CliffordExtractor().run(ucc.terms);
     const uint32_t n = ucc.numQubits;
 
     Rng rng(0xAB5);
     TablePrinter table({ "Number", "Observables(s)", "States(s)" });
+    BenchReport report("table4",
+                       "Clifford Absorption runtime vs observable / "
+                       "measured-state count (linear scaling)");
+    report.config()["sizes"] = [&] {
+        JsonValue arr = JsonValue::array();
+        for (size_t k : sizes)
+            arr.append(k);
+        return arr;
+    }();
+    report.config()["observable_benchmark"] = ucc.name;
+    report.config()["rng_seed"] = 0xAB5;
     std::vector<double> obs_times, state_times;
 
     for (size_t k : sizes) {
@@ -51,7 +70,9 @@ main()
     }
 
     // --- Probability mode on the densest MaxCut benchmark. ---
-    const Benchmark maxcut = makeBenchmark("MaxCut-(n20,r12)");
+    const Benchmark maxcut =
+        makeBenchmark(smoke ? "MaxCut-(n10,e12)" : "MaxCut-(n20,r12)");
+    report.config()["state_benchmark"] = maxcut.name;
     const ExtractionResult mc_ext =
         CliffordExtractor().run(maxcut.terms);
     const auto pa = absorbProbabilities(mc_ext);
@@ -71,11 +92,22 @@ main()
         table.addRow({ std::to_string(sizes[i]),
                        TablePrinter::fmt(obs_times[i], 6),
                        TablePrinter::fmt(state_times[i], 6) });
+
+        JsonValue &obs_row = report.addRow(ucc.name);
+        obs_row["mode"] = "observables";
+        obs_row["size"] = sizes[i];
+        obs_row["results"]["quclear"]["seconds"] = obs_times[i];
+
+        JsonValue &state_row = report.addRow(maxcut.name);
+        state_row["mode"] = "states";
+        state_row["size"] = sizes[i];
+        state_row["results"]["quclear"]["seconds"] = state_times[i];
     }
     std::fputs(table.toString().c_str(), stdout);
     writeCsvIfRequested("table4", table);
     std::printf("(paper: both columns scale linearly; observable mode on "
                 "%s)\n",
                 ucc.name.c_str());
+    report.write();
     return 0;
 }

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Check that relative links and file references in the repo's Markdown
+documents resolve.
+
+Scans README.md, ROADMAP.md, CHANGES.md, and docs/*.md for inline
+Markdown links/images `[text](target)` and verifies every non-URL,
+non-anchor target exists relative to the containing file. Used by CI so
+the reproduction docs cannot silently rot as files move.
+
+    scripts/check_docs.py            # check the default set
+    scripts/check_docs.py FILES...   # check specific files
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+DEFAULT_DOCS = ["README.md", "ROADMAP.md", "CHANGES.md"]
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def candidate_files(argv):
+    if argv:
+        return argv
+    root = repo_root()
+    files = [os.path.join(root, d) for d in DEFAULT_DOCS]
+    docs_dir = os.path.join(root, "docs")
+    if os.path.isdir(docs_dir):
+        files += sorted(
+            os.path.join(docs_dir, f) for f in os.listdir(docs_dir)
+            if f.endswith(".md"))
+    return [f for f in files if os.path.exists(f)]
+
+
+def strip_code_blocks(text):
+    """Drop fenced code blocks so example links are not checked."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def check_file(path):
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        text = strip_code_blocks(f.read())
+    base = os.path.dirname(path)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if "://" in target or target.startswith(("mailto:", "#")):
+            continue
+        target_path = target.split("#", 1)[0]
+        if not target_path:
+            continue
+        resolved = os.path.normpath(os.path.join(base, target_path))
+        if not os.path.exists(resolved):
+            errors.append("%s: broken link -> %s"
+                          % (os.path.relpath(path, repo_root()), target))
+    return errors
+
+
+def main(argv=None):
+    files = candidate_files(argv if argv is not None else sys.argv[1:])
+    if not files:
+        print("no markdown files to check")
+        return 1
+    all_errors = []
+    for path in files:
+        all_errors += check_file(path)
+    for error in all_errors:
+        print(error)
+    if all_errors:
+        print("%d broken link(s)" % len(all_errors))
+        return 1
+    print("checked %d files, all links resolve" % len(files))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,326 @@
+#!/usr/bin/env python3
+"""Render Fig. 9/10/11 from the BENCH_*.json artifacts.
+
+Reads the schema-versioned artifacts produced by the bench harnesses
+(see tools/reproduce) and renders the paper's three figures as SVG
+grouped-bar charts — no C++ binary is touched and no third-party
+Python package is needed (the SVG is generated directly).
+
+    scripts/plot_figures.py --artifacts artifacts
+    scripts/plot_figures.py --artifacts artifacts --log
+    scripts/plot_figures.py --artifacts artifacts --only fig9,fig11
+
+Outputs (into the artifacts directory unless --out is given):
+    fig9.svg             CNOTs with vs without local optimization
+    fig10.svg            cumulative per-feature CNOT reduction
+    fig11_sycamore.svg   post-routing CNOTs, Sycamore-style grid
+    fig11_manhattan.svg  post-routing CNOTs, Manhattan-style heavy-hex
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+ARTIFACT_SCHEMA = "quclear-bench-artifact/v1"
+
+# Categorical palette (validated adjacent-pair order, light mode) for
+# compiler identity; one sequential blue ramp (light -> dark) for the
+# ordered fig10 stages. Text/axis inks stay in text colors.
+CATEGORICAL = ["#2a78d6", "#eb6834", "#1baf7a", "#eda100", "#e87ba4"]
+SEQUENTIAL = ["#c9ddf4", "#93bcea", "#5d9ade", "#2a78d6", "#1c5396"]
+SURFACE = "#fcfcfb"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+GRID = "#e8e8e6"
+AXIS = "#c6c5c0"
+FONT = "system-ui, 'Helvetica Neue', Arial, sans-serif"
+
+
+def esc(s):
+    return (str(s).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def nice_ticks(vmax):
+    """1-2-5 tick ladder from 0 to a rounded-up maximum."""
+    if vmax <= 0:
+        return [0, 1]
+    raw = vmax / 5.0
+    mag = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 5, 10):
+        step = mult * mag
+        if raw <= step:
+            break
+    top = step * math.ceil(vmax / step)
+    ticks, v = [], 0.0
+    while v <= top + 1e-9:
+        ticks.append(v)
+        v += step
+    return ticks
+
+
+def log_ticks(vmin, vmax):
+    lo = math.floor(math.log10(max(vmin, 1)))
+    hi = math.ceil(math.log10(max(vmax, 1)))
+    if hi == lo:
+        hi += 1
+    return [10 ** e for e in range(lo, hi + 1)]
+
+
+def fmt_tick(v):
+    if v >= 1000 and v == int(v) and int(v) % 1000 == 0:
+        return "%dk" % (int(v) // 1000)
+    if v == int(v):
+        return str(int(v))
+    return "%g" % v
+
+
+class SvgBars:
+    """One grouped-bar chart: groups on x, one bar per series member."""
+
+    def __init__(self, title, subtitle, groups, series, values, colors,
+                 log=False):
+        self.title = title
+        self.subtitle = subtitle
+        self.groups = groups
+        self.series = series
+        self.values = values  # values[group_index][series_index] or None
+        self.colors = colors
+        self.log = log
+
+    def render(self):
+        bar_w, bar_gap, group_gap = 16, 2, 28
+        group_w = len(self.series) * (bar_w + bar_gap) - bar_gap
+        margin_l, margin_r, margin_t, margin_b = 64, 16, 80, 72
+        plot_w = len(self.groups) * (group_w + group_gap) + group_gap
+        plot_h = 280
+        # The legend sits on its own row below the subtitle; widen the
+        # frame when its labels need more room than the plot does.
+        legend_w = sum(8 * len(s) + 26 for s in self.series)
+        width = max(margin_l + plot_w + margin_r,
+                    margin_l + legend_w + margin_r)
+        height = margin_t + plot_h + margin_b
+
+        flat = [v for row in self.values for v in row if v is not None]
+        vmax = max(flat) if flat else 1
+        if self.log:
+            positive = [v for v in flat if v > 0]
+            vmin = min(positive) if positive else 1
+            ticks = log_ticks(vmin, vmax)
+            lo, hi = math.log10(ticks[0]), math.log10(ticks[-1])
+
+            def y_of(v):
+                if v <= 0:
+                    return margin_t + plot_h
+                frac = (math.log10(v) - lo) / (hi - lo)
+                return margin_t + plot_h * (1 - frac)
+        else:
+            ticks = nice_ticks(vmax)
+            top = ticks[-1]
+
+            def y_of(v):
+                return margin_t + plot_h * (1 - v / top)
+
+        out = []
+        out.append(
+            '<svg xmlns="http://www.w3.org/2000/svg" width="%d" '
+            'height="%d" viewBox="0 0 %d %d" role="img" '
+            'aria-label="%s">' % (width, height, width, height,
+                                  esc(self.title)))
+        out.append('<rect width="%d" height="%d" fill="%s"/>'
+                   % (width, height, SURFACE))
+        out.append(
+            '<text x="%d" y="24" font-family="%s" font-size="16" '
+            'font-weight="600" fill="%s">%s</text>'
+            % (margin_l, FONT, TEXT_PRIMARY, esc(self.title)))
+        out.append(
+            '<text x="%d" y="42" font-family="%s" font-size="12" '
+            'fill="%s">%s</text>'
+            % (margin_l, FONT, TEXT_SECONDARY, esc(self.subtitle)))
+
+        # Recessive grid + tick labels.
+        for t in ticks:
+            y = y_of(t)
+            out.append('<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" '
+                       'stroke="%s" stroke-width="1"/>'
+                       % (margin_l, y, margin_l + plot_w, y, GRID))
+            out.append(
+                '<text x="%d" y="%.1f" text-anchor="end" '
+                'font-family="%s" font-size="11" fill="%s">%s</text>'
+                % (margin_l - 8, y + 4, FONT, TEXT_SECONDARY,
+                   fmt_tick(t)))
+
+        # Bars: baseline-anchored, rounded only at the data end.
+        baseline = margin_t + plot_h
+        x = margin_l + group_gap
+        for gi, group in enumerate(self.groups):
+            for si, name in enumerate(self.series):
+                v = self.values[gi][si]
+                if v is not None:
+                    y = y_of(v)
+                    h = baseline - y
+                    r = min(3, h / 2)
+                    bx = x + si * (bar_w + bar_gap)
+                    path = ("M%.1f %.1f L%.1f %.1f Q%.1f %.1f %.1f %.1f "
+                            "L%.1f %.1f Q%.1f %.1f %.1f %.1f L%.1f %.1f Z"
+                            % (bx, baseline, bx, y + r,
+                               bx, y, bx + r, y,
+                               bx + bar_w - r, y,
+                               bx + bar_w, y, bx + bar_w, y + r,
+                               bx + bar_w, baseline))
+                    out.append(
+                        '<path d="%s" fill="%s"><title>%s · %s: '
+                        '%s</title></path>'
+                        % (path, self.colors[si], esc(group), esc(name),
+                           fmt_tick(v)))
+            label_x = x + group_w / 2.0
+            out.append(
+                '<text x="%.1f" y="%d" text-anchor="end" '
+                'font-family="%s" font-size="11" fill="%s" '
+                'transform="rotate(-25 %.1f %d)">%s</text>'
+                % (label_x, baseline + 18, FONT, TEXT_SECONDARY,
+                   label_x, baseline + 18, esc(group)))
+            x += group_w + group_gap
+
+        out.append('<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" '
+                   'stroke-width="1"/>'
+                   % (margin_l, baseline, margin_l + plot_w, baseline,
+                      AXIS))
+
+        # Legend row below the subtitle, left-aligned with the plot.
+        lx = margin_l
+        for si, label in enumerate(self.series):
+            out.append('<rect x="%d" y="52" width="10" height="10" '
+                       'rx="2" fill="%s"/>' % (lx, self.colors[si]))
+            out.append(
+                '<text x="%d" y="61" font-family="%s" font-size="11" '
+                'fill="%s">%s</text>'
+                % (lx + 14, FONT, TEXT_SECONDARY, esc(label)))
+            lx += 8 * len(label) + 26
+
+        out.append("</svg>")
+        return "\n".join(out) + "\n"
+
+
+def load_artifact(artifacts_dir, harness):
+    path = os.path.join(artifacts_dir, "BENCH_%s.json" % harness)
+    if not os.path.exists(path):
+        return None, "%s not found (run tools/reproduce first)" % path
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != ARTIFACT_SCHEMA:
+        return None, "%s: unexpected schema %r" % (path,
+                                                   doc.get("schema"))
+    return doc, None
+
+
+def metric(row, series_key, leaf):
+    res = row.get("results", {}).get(series_key)
+    if res is None:
+        return None
+    return res.get(leaf)
+
+
+def build_fig9(doc, log):
+    groups = [r["benchmark"] for r in doc["rows"]]
+    series = ["no local opt", "with local opt"]
+    values = [[metric(r, "no_opt", "cnot"),
+               metric(r, "with_opt", "cnot")] for r in doc["rows"]]
+    geo = doc.get("summary", {}).get("geomean_reduction_pct")
+    subtitle = "CNOT count on the QAOA benchmarks (scale: %s)" \
+        % doc.get("scale", "?")
+    if geo is not None:
+        subtitle += " — geomean reduction %.1f%% (paper: 4.4%%)" % geo
+    chart = SvgBars("Fig. 9 — QuCLEAR with vs without local "
+                    "optimization", subtitle, groups, series, values,
+                    CATEGORICAL[:2], log)
+    return {"fig9.svg": chart.render()}
+
+
+def build_fig10(doc, log):
+    stages = [("native", "native"),
+              ("plus_extraction", "+extraction"),
+              ("plus_commuting", "+commuting"),
+              ("plus_absorption", "+absorption"),
+              ("plus_local_opt", "+local opt")]
+    groups = [r["benchmark"] for r in doc["rows"]]
+    series = [label for _, label in stages]
+    values = [[metric(r, key, "cnot") for key, _ in stages]
+              for r in doc["rows"]]
+    chart = SvgBars("Fig. 10 — CNOT reduction per QuCLEAR feature",
+                    "Cumulative design points (scale: %s)"
+                    % doc.get("scale", "?"),
+                    groups, series, values, SEQUENTIAL, log)
+    return {"fig10.svg": chart.render()}
+
+
+def build_fig11(doc, log):
+    compilers = [("quclear", "QuCLEAR"), ("qiskit", "Qiskit"),
+                 ("paulihedral", "Paulihedral"), ("tket", "tket"),
+                 ("tetris", "Tetris")]
+    out = {}
+    devices = []
+    for row in doc["rows"]:
+        if row.get("device") not in devices:
+            devices.append(row.get("device"))
+    for device in devices:
+        rows = [r for r in doc["rows"] if r.get("device") == device]
+        groups = [r["benchmark"] for r in rows]
+        series = [label for _, label in compilers]
+        values = [[metric(r, key, "routed_cnot")
+                   for key, _ in compilers] for r in rows]
+        chart = SvgBars(
+            "Fig. 11 — post-routing CNOTs on %s" % device,
+            "SWAP = 3 CNOTs, SABRE-style routing (scale: %s)"
+            % doc.get("scale", "?"),
+            groups, series, values, CATEGORICAL[:5], log)
+        out["fig11_%s.svg" % device] = chart.render()
+    return out
+
+
+BUILDERS = {"fig9": build_fig9, "fig10": build_fig10,
+            "fig11": build_fig11}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="scripts/plot_figures.py",
+        description="Render Fig. 9/10/11 from BENCH_*.json artifacts")
+    parser.add_argument("--artifacts", default="artifacts",
+                        help="directory with BENCH_*.json "
+                             "(default: artifacts)")
+    parser.add_argument("--out",
+                        help="output directory (default: --artifacts)")
+    parser.add_argument("--only",
+                        help="comma-separated subset of fig9,fig10,fig11")
+    parser.add_argument("--log", action="store_true",
+                        help="log-scale y axis (wide-range fig11 runs)")
+    args = parser.parse_args(argv)
+
+    out_dir = args.out or args.artifacts
+    os.makedirs(out_dir, exist_ok=True)
+    wanted = ([k.strip() for k in args.only.split(",") if k.strip()]
+              if args.only else list(BUILDERS))
+    unknown = sorted(set(wanted) - set(BUILDERS))
+    if unknown:
+        sys.exit("unknown figures: %s" % ", ".join(unknown))
+
+    failures = 0
+    for harness in wanted:
+        doc, err = load_artifact(args.artifacts, harness)
+        if err:
+            print("[%s] SKIPPED: %s" % (harness, err))
+            failures += 1
+            continue
+        for name, svg in BUILDERS[harness](doc, args.log).items():
+            path = os.path.join(out_dir, name)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(svg)
+            print("[%s] wrote %s" % (harness, path))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -119,4 +119,10 @@ benzeneHamiltonianSim()
     return syntheticMolecule(12, 1254, 0xC6116, 0.1);
 }
 
+std::vector<PauliTerm>
+naphthaleneHamiltonianSim()
+{
+    return syntheticMolecule(18, 3066, 0xC10118, 0.1);
+}
+
 } // namespace quclear

@@ -42,6 +42,16 @@ std::vector<PauliTerm> h2oHamiltonianSim();
 /** Benzene active space: 12 qubits, 1254 Pauli terms (Table II). */
 std::vector<PauliTerm> benzeneHamiltonianSim();
 
+/**
+ * Naphthalene active space: 18 qubits, 3066 Pauli terms. An extended
+ * paper-scale instance (one ring-system size past benzene; not a
+ * Table II row, so there are no paper reference numbers). The term
+ * count follows the same super-quadratic growth as the Table II
+ * molecules: ~n^2 diagonal + hopping families plus a double-excitation
+ * tail.
+ */
+std::vector<PauliTerm> naphthaleneHamiltonianSim();
+
 } // namespace quclear
 
 #endif // QUCLEAR_BENCHGEN_MOLECULES_HPP

@@ -48,6 +48,8 @@ makeBenchmark(const std::string &name)
         return make(name, BenchmarkKind::Uccsd, uccsdAnsatz(8, 16));
     if (name == "UCC-(10,20)")
         return make(name, BenchmarkKind::Uccsd, uccsdAnsatz(10, 20));
+    if (name == "UCC-(12,24)")
+        return make(name, BenchmarkKind::Uccsd, uccsdAnsatz(12, 24));
 
     // Hamiltonian simulation molecules.
     if (name == "LiH")
@@ -59,6 +61,9 @@ makeBenchmark(const std::string &name)
     if (name == "benzene")
         return make(name, BenchmarkKind::HamiltonianSim,
                     benzeneHamiltonianSim());
+    if (name == "naphthalene")
+        return make(name, BenchmarkKind::HamiltonianSim,
+                    naphthaleneHamiltonianSim());
 
     // QAOA LABS.
     if (name == "LABS-(n10)")
@@ -67,6 +72,10 @@ makeBenchmark(const std::string &name)
         return make(name, BenchmarkKind::QaoaLabs, labsQaoa(15));
     if (name == "LABS-(n20)")
         return make(name, BenchmarkKind::QaoaLabs, labsQaoa(20));
+    if (name == "LABS-(n25)")
+        return make(name, BenchmarkKind::QaoaLabs, labsQaoa(25));
+    if (name == "LABS-(n30)")
+        return make(name, BenchmarkKind::QaoaLabs, labsQaoa(30));
 
     // QAOA MaxCut on regular graphs.
     if (name == "MaxCut-(n15,r4)")
@@ -84,6 +93,10 @@ makeBenchmark(const std::string &name)
         return make(name, BenchmarkKind::QaoaMaxcut,
                     maxcutQaoa(randomRegularGraph(20, 12,
                                                   kGraphSeedBase + 3)));
+    if (name == "MaxCut-(n30,r4)")
+        return make(name, BenchmarkKind::QaoaMaxcut,
+                    maxcutQaoa(randomRegularGraph(30, 4,
+                                                  kGraphSeedBase + 7)));
 
     // QAOA MaxCut on random graphs with exact edge counts.
     if (name == "MaxCut-(n10,e12)")
@@ -124,6 +137,26 @@ fastBenchmarkNames()
         "MaxCut-(n15,r4)",  "MaxCut-(n20,r4)",  "MaxCut-(n20,r8)",
         "MaxCut-(n20,r12)", "MaxCut-(n10,e12)", "MaxCut-(n15,e63)",
         "MaxCut-(n20,e117)",
+    };
+}
+
+std::vector<std::string>
+smokeBenchmarkNames()
+{
+    return {
+        "UCC-(2,4)",
+        "LiH",
+        "LABS-(n10)",
+        "MaxCut-(n10,e12)",
+    };
+}
+
+std::vector<std::string>
+paperScaleBenchmarkNames()
+{
+    return {
+        "UCC-(12,24)",  "naphthalene",    "LABS-(n25)",
+        "LABS-(n30)",   "MaxCut-(n30,r4)",
     };
 }
 

@@ -43,7 +43,8 @@ struct Benchmark
 
 /**
  * Build one benchmark by its Table II name, e.g. "UCC-(4,8)", "LiH",
- * "LABS-(n15)", "MaxCut-(n20,r8)", "MaxCut-(n15,e63)".
+ * "LABS-(n15)", "MaxCut-(n20,r8)", "MaxCut-(n15,e63)", or one of the
+ * extended paper-scale names (paperScaleBenchmarkNames()).
  * @throws std::invalid_argument for unknown names
  */
 Benchmark makeBenchmark(const std::string &name);
@@ -54,9 +55,26 @@ std::vector<std::string> allBenchmarkNames();
 /**
  * The subset that completes quickly (skips the two largest UCC sizes);
  * used by default in the bench harnesses, with an environment switch
- * (QUCLEAR_FULL=1) enabling the full suite.
+ * (QUCLEAR_SCALE, see bench/bench_common.hpp) selecting other tiers.
  */
 std::vector<std::string> fastBenchmarkNames();
+
+/**
+ * A handful of tiny instances (one per workload family) that compile in
+ * well under a second each — the CI artifact-smoke tier, so the nightly
+ * reproduction run exercises every harness without paper-scale cost.
+ */
+std::vector<std::string> smokeBenchmarkNames();
+
+/**
+ * Extended instances beyond Table II, one size step past the paper for
+ * each workload family: UCC-(12,24) (24 qubits, 35136 terms),
+ * naphthalene (18-qubit molecule), LABS-(n25)/(n30), and
+ * MaxCut-(n30,r4). All generators are seeded and deterministic; they
+ * are additional names, not replacements, so paperRow() has no
+ * reference values for them.
+ */
+std::vector<std::string> paperScaleBenchmarkNames();
 
 } // namespace quclear
 

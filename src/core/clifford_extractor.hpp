@@ -21,14 +21,26 @@
 
 namespace quclear {
 
-/** Options for Algorithm 2 (exposed for the Fig. 10 ablation). */
+/**
+ * Options for Algorithm 2 (exposed for the Fig. 10 ablation).
+ *
+ * Every knob here is deterministic: for a fixed configuration the
+ * extractor's output is bit-reproducible across runs and machines, and
+ * `threads` never changes the output at all (only wall time). The
+ * conjugation cache that keeps each commuting block pre-conjugated
+ * (see docs/ARCHITECTURE.md) is always on — it is exact by the
+ * conjugation homomorphism, so it has no knob.
+ */
 struct ExtractionConfig
 {
+    /** CNOT-tree synthesis options, incl. the lookahead depth. */
     TreeSynthesisConfig tree;
 
     /**
      * Reorder Paulis inside commuting blocks with find_next_pauli
      * (Sec. V-C). When false, the input order is kept verbatim.
+     * Default: true (the paper's configuration). The reorder is a
+     * deterministic function of the term sequence.
      */
     bool useCommutingBlocks = true;
 
@@ -36,9 +48,14 @@ struct ExtractionConfig
      * Worker threads for the data-parallel paths: block-entry batch
      * conjugation, the conjugation-cache replay across pending block
      * entries, tree-synthesis lookahead updates, and (through QuClear)
-     * multi-observable absorption. 0 = hardware concurrency, 1 = fully
-     * sequential. Every parallel loop writes disjoint slots, so the
-     * compiled output is bit-identical for every value of this knob.
+     * multi-observable absorption. 0 = hardware concurrency (the
+     * default), 1 = fully sequential (no workers are spawned — the
+     * exact single-threaded code path). Determinism guarantee: every
+     * parallel loop writes disjoint slots and accumulates nothing
+     * across items, so the compiled circuit, Clifford tail, conjugator
+     * tableau, and rotation order are bit-identical for every value of
+     * this knob (asserted by test_conjugate_batch and
+     * test_scale_extraction).
      */
     uint32_t threads = 0;
 };

@@ -30,22 +30,39 @@
 
 namespace quclear {
 
-/** Framework-wide options. */
+/**
+ * Framework-wide options. All knobs are deterministic: a fixed
+ * configuration always produces the same compiled program, and
+ * `extraction.threads` never changes the output (see
+ * ExtractionConfig).
+ */
 struct QuClearOptions
 {
+    /** Clifford Extraction options (tree synthesis, blocks, threads). */
     ExtractionConfig extraction;
 
-    /** Run the local-rewrite pipeline (the "Qiskit O3" proxy) on U'. */
+    /**
+     * Run the local-rewrite pipeline (the "Qiskit O3" proxy) on U'.
+     * Default: true (the paper's configuration; Fig. 9 measures the
+     * effect of turning it off). The pipeline is a fixed pass sequence
+     * with no randomness.
+     */
     bool applyLocalOptimization = true;
 
     /**
      * Re-schedule the optimized circuit for entangling depth
      * (commutation-aware list scheduling; never increases depth).
-     * Skipped automatically above depthSchedulingGateLimit gates.
+     * Default: true. Skipped automatically above
+     * depthSchedulingGateLimit gates.
      */
     bool optimizeDepth = true;
 
-    /** Gate-count cutoff for the depth scheduler (quadratic-ish cost). */
+    /**
+     * Gate-count cutoff for the depth scheduler (quadratic-ish cost).
+     * Default: 20000 gates — large enough for every fast-tier
+     * benchmark, small enough that paper-scale circuits skip straight
+     * to emission.
+     */
     size_t depthSchedulingGateLimit = 20000;
 };
 

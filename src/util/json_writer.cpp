@@ -1,0 +1,185 @@
+#include "util/json_writer.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace quclear {
+
+namespace {
+
+void
+writeEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+writeDouble(std::string &out, double value)
+{
+    // JSON has no NaN/Inf; null is the conventional stand-in.
+    if (!std::isfinite(value)) {
+        out += "null";
+        return;
+    }
+    // Shortest representation that round-trips the exact double.
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof buf, value);
+    out.append(buf, res.ptr);
+}
+
+void
+writeIndent(std::string &out, int indent, int depth)
+{
+    out += '\n';
+    out.append(static_cast<size_t>(indent) * static_cast<size_t>(depth),
+               ' ');
+}
+
+} // namespace
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+JsonValue &
+JsonValue::operator[](const std::string &key)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    if (kind_ != Kind::Object)
+        throw std::logic_error("JsonValue: member access on non-object");
+    for (auto &member : members_)
+        if (member.first == key)
+            return member.second;
+    members_.emplace_back(key, JsonValue());
+    return members_.back().second;
+}
+
+JsonValue &
+JsonValue::append(JsonValue value)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Array;
+    if (kind_ != Kind::Array)
+        throw std::logic_error("JsonValue: append on non-array");
+    elements_.push_back(std::move(value));
+    return elements_.back();
+}
+
+size_t
+JsonValue::size() const
+{
+    if (kind_ == Kind::Array)
+        return elements_.size();
+    if (kind_ == Kind::Object)
+        return members_.size();
+    return 0;
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    write(out, indent, 0);
+    out += '\n';
+    return out;
+}
+
+void
+JsonValue::write(std::string &out, int indent, int depth) const
+{
+    switch (kind_) {
+      case Kind::Null: out += "null"; break;
+      case Kind::Bool: out += bool_ ? "true" : "false"; break;
+      case Kind::Int: {
+        char buf[24];
+        const auto res = std::to_chars(buf, buf + sizeof buf, int_);
+        out.append(buf, res.ptr);
+        break;
+      }
+      case Kind::Uint: {
+        char buf[24];
+        const auto res = std::to_chars(buf, buf + sizeof buf, uint_);
+        out.append(buf, res.ptr);
+        break;
+      }
+      case Kind::Double: writeDouble(out, double_); break;
+      case Kind::String: writeEscaped(out, string_); break;
+      case Kind::Array: {
+        if (elements_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (size_t i = 0; i < elements_.size(); ++i) {
+            if (i)
+                out += ',';
+            if (indent > 0)
+                writeIndent(out, indent, depth + 1);
+            elements_[i].write(out, indent, depth + 1);
+        }
+        if (indent > 0)
+            writeIndent(out, indent, depth);
+        out += ']';
+        break;
+      }
+      case Kind::Object: {
+        if (members_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (size_t i = 0; i < members_.size(); ++i) {
+            if (i)
+                out += ',';
+            if (indent > 0)
+                writeIndent(out, indent, depth + 1);
+            writeEscaped(out, members_[i].first);
+            out += indent > 0 ? ": " : ":";
+            members_[i].second.write(out, indent, depth + 1);
+        }
+        if (indent > 0)
+            writeIndent(out, indent, depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+} // namespace quclear

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Minimal ordered JSON document builder for machine-readable outputs:
+ * the bench harnesses' BENCH_<name>.json artifacts and any tool that
+ * needs structured results. Write-only by design (no parser): values
+ * are built as a tree and serialized with stable member order, exact
+ * integer formatting, and round-trippable doubles, so artifact diffs
+ * stay meaningful across runs.
+ */
+#ifndef QUCLEAR_UTIL_JSON_WRITER_HPP
+#define QUCLEAR_UTIL_JSON_WRITER_HPP
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace quclear {
+
+/**
+ * One JSON value: null, bool, integer, double, string, array, or
+ * object. Objects preserve insertion order; `operator[]` get-or-creates
+ * members so documents can be built top-down:
+ * @code
+ *   JsonValue doc = JsonValue::object();
+ *   doc["schema"] = "quclear-bench-artifact/v1";
+ *   JsonValue &row = doc["rows"].append(JsonValue::object());
+ *   row["cnot"] = 42;
+ *   out << doc.dump();
+ * @endcode
+ */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Int,
+        Uint,
+        Double,
+        String,
+        Array,
+        Object
+    };
+
+    JsonValue() : kind_(Kind::Null) {}
+    JsonValue(bool value) : kind_(Kind::Bool), bool_(value) {}
+    JsonValue(double value) : kind_(Kind::Double), double_(value) {}
+    JsonValue(const char *value) : kind_(Kind::String), string_(value) {}
+    JsonValue(std::string value)
+        : kind_(Kind::String), string_(std::move(value))
+    {
+    }
+
+    /** Any signed/unsigned integer type (bool handled above). */
+    template <typename T,
+              std::enable_if_t<std::is_integral_v<T> &&
+                                   !std::is_same_v<T, bool>,
+                               int> = 0>
+    JsonValue(T value)
+    {
+        if constexpr (std::is_signed_v<T>) {
+            kind_ = Kind::Int;
+            int_ = static_cast<int64_t>(value);
+        } else {
+            kind_ = Kind::Uint;
+            uint_ = static_cast<uint64_t>(value);
+        }
+    }
+
+    /** An empty JSON object. */
+    static JsonValue object();
+
+    /** An empty JSON array. */
+    static JsonValue array();
+
+    Kind kind() const { return kind_; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    /**
+     * Object member access, get-or-create. A Null value silently
+     * becomes an object on first use. The returned reference stays
+     * valid across later insertions into the same object (deque-backed
+     * storage) — only overwriting the member itself invalidates it.
+     * @throws std::logic_error when called on a non-object
+     */
+    JsonValue &operator[](const std::string &key);
+
+    /**
+     * Append to an array (a Null value becomes an array first).
+     * @return reference to the stored element, for in-place building;
+     *         stays valid across later append() calls on this array
+     * @throws std::logic_error when called on a non-array
+     */
+    JsonValue &append(JsonValue value);
+
+    /** Number of array elements / object members (0 for scalars). */
+    size_t size() const;
+
+    /**
+     * Serialize. @p indent > 0 pretty-prints with that many spaces per
+     * level; 0 emits the compact single-line form.
+     */
+    std::string dump(int indent = 2) const;
+
+  private:
+    void write(std::string &out, int indent, int depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    int64_t int_ = 0;
+    uint64_t uint_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    // Deques, not vectors: the references handed out by operator[] and
+    // append() must survive later insertions (harnesses hold several
+    // live rows while building a report).
+    std::deque<JsonValue> elements_;
+    std::deque<std::pair<std::string, JsonValue>> members_;
+};
+
+} // namespace quclear
+
+#endif // QUCLEAR_UTIL_JSON_WRITER_HPP

@@ -2,9 +2,12 @@
  * @file
  * Tests for the benchmark generators: graph validity, Table II structure
  * (term counts, native gate counts where they are exactly determined),
- * determinism across calls, and the benchmark registry.
+ * determinism across calls, the benchmark registry, the extended
+ * paper-scale instances, and a QASM round-trip on a generated circuit.
  */
 #include <gtest/gtest.h>
+
+#include <cmath>
 
 #include "baselines/naive_synthesis.hpp"
 #include "benchgen/graphs.hpp"
@@ -13,6 +16,8 @@
 #include "benchgen/molecules.hpp"
 #include "benchgen/spin_chains.hpp"
 #include "benchgen/suite.hpp"
+#include "circuit/qasm.hpp"
+#include "circuit/qasm_import.hpp"
 #include "core/quclear.hpp"
 #include "sim/expectation.hpp"
 #include "benchgen/uccsd.hpp"
@@ -173,6 +178,114 @@ TEST(SuiteTest, DeterministicAcrossCalls)
         EXPECT_EQ(a.terms[i], b.terms[i]);
 }
 
+
+TEST(PaperScaleTest, RegistryNamesAllConstruct)
+{
+    for (const auto &name : paperScaleBenchmarkNames()) {
+        const Benchmark b = makeBenchmark(name);
+        EXPECT_FALSE(b.terms.empty()) << name;
+        EXPECT_GT(b.numQubits, 0u) << name;
+        EXPECT_EQ(b.terms, makeBenchmark(name).terms)
+            << name << " not deterministic";
+    }
+    // The flagship instance's registry wiring, not just its generator.
+    const Benchmark ucc = makeBenchmark("UCC-(12,24)");
+    EXPECT_EQ(ucc.numQubits, 24u);
+    EXPECT_EQ(ucc.terms.size(), uccsdTermCount(12, 24));
+    EXPECT_EQ(ucc.kind, BenchmarkKind::Uccsd);
+}
+
+TEST(PaperScaleTest, InstanceShapes)
+{
+    // Pinned counts: regressions here mean the generators changed and
+    // every recorded artifact loses comparability.
+    EXPECT_EQ(uccsdTermCount(12, 24), 35136u);
+    EXPECT_EQ(labsHamiltonian(25).size(), 1222u);
+    EXPECT_EQ(labsHamiltonian(30).size(), 2135u);
+    EXPECT_EQ(labsQaoa(25).size(), 1222u + 25u);
+    EXPECT_EQ(labsQaoa(30).size(), 2135u + 30u);
+
+    const Benchmark naphthalene = makeBenchmark("naphthalene");
+    EXPECT_EQ(naphthalene.numQubits, 18u);
+    EXPECT_EQ(naphthalene.terms.size(), 3066u);
+
+    const Benchmark maxcut = makeBenchmark("MaxCut-(n30,r4)");
+    EXPECT_EQ(maxcut.numQubits, 30u);
+    EXPECT_EQ(maxcut.terms.size(), 30u * 4 / 2 + 30u);
+}
+
+TEST(PaperScaleTest, UccsdLargeAnsatzStructure)
+{
+    const auto terms = uccsdAnsatz(12, 24);
+    ASSERT_EQ(terms.size(), uccsdTermCount(12, 24));
+    for (const auto &term : terms) {
+        // Every Jordan-Wigner string has 2 (single) or 4 (double) X/Y
+        // positions with an odd Y count — that parity is what makes
+        // e^{i theta P} with real theta implement the anti-Hermitian
+        // cluster operator (hermiticity of the generator).
+        uint32_t xy = 0, y = 0;
+        for (uint32_t q = 0; q < 24; ++q) {
+            const PauliOp op = term.pauli.op(q);
+            if (op == PauliOp::X || op == PauliOp::Y)
+                ++xy;
+            if (op == PauliOp::Y)
+                ++y;
+        }
+        EXPECT_TRUE(xy == 2 || xy == 4) << term.pauli.toLabel();
+        EXPECT_EQ(y % 2, 1u) << term.pauli.toLabel();
+        EXPECT_NE(term.angle, 0.0);
+    }
+}
+
+TEST(PaperScaleTest, LabsLargeHamiltonianInvariants)
+{
+    for (uint32_t n : { 25u, 30u }) {
+        for (const auto &term : labsHamiltonian(n)) {
+            EXPECT_GE(term.qubits.size(), 2u);
+            EXPECT_LE(term.qubits.size(), 4u);
+            EXPECT_GT(term.coefficient, 0.0);
+            for (size_t i = 1; i < term.qubits.size(); ++i)
+                EXPECT_LT(term.qubits[i - 1], term.qubits[i]);
+            EXPECT_LT(term.qubits.back(), n);
+        }
+    }
+}
+
+TEST(PaperScaleTest, NaphthaleneTermInvariants)
+{
+    const auto terms = naphthaleneHamiltonianSim();
+    for (const auto &term : terms) {
+        EXPECT_FALSE(term.pauli.isIdentity());
+        // Coefficients are dt * uniform(-scale, scale) with dt = 0.1
+        // and scale <= 1.
+        EXPECT_LE(std::abs(term.angle), 0.1);
+        // Hopping/double-excitation strings carry an even number of
+        // X/Y operators (quadratic/quartic fermionic terms).
+        uint32_t xy = 0;
+        for (uint32_t q = 0; q < 18; ++q) {
+            const PauliOp op = term.pauli.op(q);
+            if (op == PauliOp::X || op == PauliOp::Y)
+                ++xy;
+        }
+        EXPECT_EQ(xy % 2, 0u) << term.pauli.toLabel();
+    }
+}
+
+TEST(PaperScaleTest, GeneratedInstanceQasmRoundTrip)
+{
+    // The artifact pipeline hands generated circuits to external
+    // toolchains as OpenQASM 2.0; exporting and re-importing must be
+    // lossless (gate stream and angles).
+    const Benchmark b = makeBenchmark("LABS-(n10)");
+    const QuantumCircuit qc = naiveSynthesis(b.terms);
+    const std::string qasm = toQasm(qc);
+    const QuantumCircuit back = fromQasm(qasm);
+    ASSERT_EQ(back.numQubits(), qc.numQubits());
+    ASSERT_EQ(back.size(), qc.size());
+    EXPECT_EQ(toQasm(back), qasm);
+    EXPECT_EQ(back.twoQubitCount(), qc.twoQubitCount());
+    EXPECT_EQ(back.singleQubitCount(), qc.singleQubitCount());
+}
 
 TEST(SpinChainTest, TfimTermStructure)
 {
