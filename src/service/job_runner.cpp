@@ -1,0 +1,212 @@
+#include "service/job_runner.hpp"
+
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "benchgen/suite.hpp"
+#include "circuit/circuit_stats.hpp"
+#include "circuit/qasm_import.hpp"
+#include "core/quclear.hpp"
+#include "sim/noise_model.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace quclear::service {
+
+namespace {
+
+/** Classified job failure, rendered as an in-band error line. */
+struct JobError : std::runtime_error
+{
+    JobError(ServiceError code_in, const std::string &message)
+        : std::runtime_error(message), code(code_in)
+    {
+    }
+
+    ServiceError code;
+};
+
+/**
+ * Map a QASM importer exception onto the contract's two codes: the
+ * importer prefixes everything with "QASM parse error:" and names
+ * rejected gates with "unsupported gate '<name>'".
+ */
+[[noreturn]] void
+rethrowQasmError(const std::invalid_argument &e)
+{
+    const std::string message = e.what();
+    if (message.find("unsupported gate") != std::string::npos)
+        throw JobError(ServiceError::UnsupportedGate, message);
+    throw JobError(ServiceError::QasmParse, message);
+}
+
+QuantumCircuit
+loadCircuit(const JobRequest &request)
+{
+    std::string qasm_text;
+    if (request.source == JobSource::QasmFile) {
+        std::ifstream in(request.payload);
+        if (!in)
+            throw JobError(ServiceError::IoError,
+                           "cannot open '" + request.payload + "'");
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        if (in.bad())
+            throw JobError(ServiceError::IoError,
+                           "cannot read '" + request.payload + "'");
+        qasm_text = buffer.str();
+    } else {
+        qasm_text = request.payload;
+    }
+    try {
+        return fromQasm(qasm_text);
+    } catch (const std::invalid_argument &e) {
+        rethrowQasmError(e);
+    }
+}
+
+QuClearOptions
+optionsFor(const JobRequest &request)
+{
+    QuClearOptions options;
+    options.applyLocalOptimization = request.localOpt;
+    options.optimizeDepth = request.optimizeDepth;
+    options.extraction.threads = request.threads;
+    options.extraction.useCommutingBlocks = request.commutingBlocks;
+    return options;
+}
+
+void
+writeStats(JsonValue &group, const CircuitStats &stats, size_t gates)
+{
+    group["gates"] = gates;
+    group["cnot"] = stats.cxCount;
+    group["single_qubit"] = stats.singleQubitCount;
+    group["depth"] = stats.entanglingDepth;
+    group["total_depth"] = stats.totalDepth;
+}
+
+void
+writeNoiseGroup(JsonValue &results, const JobRequest &request,
+                const QuantumCircuit *input,
+                const CompiledProgram &program)
+{
+    const JobNoiseSpec &spec = request.noise;
+    NoiseModel model;
+    model.singleQubitError = spec.singleQubitError;
+    model.twoQubitError = spec.twoQubitError;
+
+    JsonValue &noise = results["noise"];
+    noise["p1"] = spec.singleQubitError;
+    noise["p2"] = spec.twoQubitError;
+    if (input)
+        noise["input_success_probability"] =
+            model.estimatedSuccessProbability(*input);
+    noise["optimized_success_probability"] =
+        model.estimatedSuccessProbability(program.circuit());
+
+    if (spec.shots == 0)
+        return;
+    PauliString observable;
+    try {
+        observable = PauliString::fromLabel(spec.observable);
+    } catch (const std::exception &e) {
+        throw JobError(ServiceError::InvalidJob,
+                       std::string("bad noise observable: ") + e.what());
+    }
+    if (observable.numQubits() != program.circuit().numQubits())
+        throw JobError(ServiceError::InvalidJob,
+                       "noise observable is on " +
+                           std::to_string(observable.numQubits()) +
+                           " qubits but the program is on " +
+                           std::to_string(program.circuit().numQubits()));
+    // Monte-Carlo fault injection on the extracted Clifford tail: the
+    // tail is Clifford by construction, so every trajectory stays a
+    // stabilizer state. The resulting degradation is exactly what
+    // executing the tail on hardware would cost — the quantity
+    // Clifford Absorption saves (docs/SERVICE.md).
+    Rng rng(spec.seed);
+    const auto mc = model.noisyStabilizerExpectation(
+        program.extraction.extractedClifford, observable,
+        static_cast<size_t>(spec.shots), rng);
+    noise["observable"] = spec.observable;
+    noise["shots"] = spec.shots;
+    noise["seed"] = spec.seed;
+    noise["tail_expectation"] = mc.expectation;
+    noise["error_events"] = mc.errorEvents;
+    noise["fault_sites"] = mc.faultSites;
+}
+
+std::string
+runJobLineOrThrow(const JobRequest &request, uint64_t seq)
+{
+    QuantumCircuit circuit;
+    Benchmark benchmark;
+    if (request.source == JobSource::Benchmark) {
+        try {
+            benchmark = makeBenchmark(request.payload);
+        } catch (const std::invalid_argument &e) {
+            throw JobError(ServiceError::UnknownBenchmark, e.what());
+        }
+    } else {
+        circuit = loadCircuit(request);
+    }
+
+    const QuClear compiler(optionsFor(request));
+    Timer timer;
+    const CompiledProgram program =
+        request.source == JobSource::Benchmark
+            ? compiler.compile(benchmark.terms)
+            : compiler.compileCircuit(circuit);
+    const double seconds = timer.seconds();
+
+    JsonValue doc = successResultShell(seq, request);
+    JsonValue &job = doc["job"];
+    job["source"] = sourceName(request.source);
+    job["qubits"] = program.circuit().numQubits();
+    if (request.source == JobSource::Benchmark) {
+        job["benchmark"] = request.payload;
+        job["terms"] = benchmark.terms.size();
+    }
+
+    JsonValue &results = doc["results"];
+    if (request.source != JobSource::Benchmark)
+        writeStats(results["input"], computeStats(circuit),
+                   circuit.size());
+    JsonValue &quclear_group = results["quclear"];
+    writeStats(quclear_group, computeStats(program.circuit()),
+               program.circuit().size());
+    quclear_group["clifford_tail"] =
+        program.extraction.extractedClifford.size();
+    quclear_group["seconds"] = seconds;
+
+    if (request.noise.enabled) {
+        const QuantumCircuit *input =
+            request.source == JobSource::Benchmark ? nullptr : &circuit;
+        writeNoiseGroup(results, request, input, program);
+    }
+    return compactResultLine(doc);
+}
+
+} // namespace
+
+std::string
+runJobLine(const JobRequest &request, uint64_t seq)
+{
+    try {
+        return runJobLineOrThrow(request, seq);
+    } catch (const JobError &e) {
+        return errorResultLine(seq, request.id, e.code, e.what());
+    } catch (const std::exception &e) {
+        return errorResultLine(seq, request.id, ServiceError::Internal,
+                               e.what());
+    } catch (...) {
+        return errorResultLine(seq, request.id, ServiceError::Internal,
+                               "unknown failure");
+    }
+}
+
+} // namespace quclear::service

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Executes one parsed service job: load the program, compile it with
+ * the job's per-request config through the same QuClear facade the
+ * one-shot CLI uses, and render the `quclear-service-result/v1` line.
+ *
+ * Determinism contract (docs/SERVICE.md): for a fixed job, every
+ * metric except the `seconds` timings is bit-identical across runs,
+ * thread counts, and scheduler concurrency, because the compiler
+ * itself is deterministic (ExtractionConfig) and the runner adds no
+ * state of its own.
+ */
+#ifndef QUCLEAR_SERVICE_JOB_RUNNER_HPP
+#define QUCLEAR_SERVICE_JOB_RUNNER_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace quclear::service {
+
+/**
+ * Run @p request to completion and return its result line (success or
+ * in-band error; no trailing newline). Never throws — every failure
+ * maps to a documented error code, with `internal` as the final guard.
+ */
+std::string runJobLine(const JobRequest &request, uint64_t seq);
+
+} // namespace quclear::service
+
+#endif // QUCLEAR_SERVICE_JOB_RUNNER_HPP

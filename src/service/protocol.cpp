@@ -1,0 +1,292 @@
+#include "service/protocol.hpp"
+
+#include <initializer_list>
+#include <stdexcept>
+
+#include "util/json_reader.hpp"
+
+namespace quclear::service {
+
+namespace {
+
+/** Hard cap mirroring the CLI's --threads validation. */
+constexpr uint64_t kMaxThreads = 1024;
+
+/** Validation failure, converted to invalid-job by the caller. */
+[[noreturn]] void
+reject(const std::string &message)
+{
+    throw std::invalid_argument(message);
+}
+
+void
+requireKnownKeys(const JsonValue &object, const char *context,
+                 std::initializer_list<const char *> allowed)
+{
+    for (const auto &member : object.members()) {
+        bool known = false;
+        for (const char *key : allowed)
+            if (member.first == key)
+                known = true;
+        if (!known)
+            reject(std::string("unknown ") + context + " key '" +
+                   member.first + "'");
+    }
+}
+
+bool
+parseBoolField(const JsonValue &object, const char *key,
+               bool default_value)
+{
+    const JsonValue *field = object.find(key);
+    if (!field)
+        return default_value;
+    try {
+        return field->asBool();
+    } catch (const std::logic_error &) {
+        reject(std::string("'") + key + "' must be a boolean");
+    }
+}
+
+uint64_t
+parseUintField(const JsonValue &object, const char *key,
+               uint64_t default_value, uint64_t max_value)
+{
+    const JsonValue *field = object.find(key);
+    if (!field)
+        return default_value;
+    uint64_t value = 0;
+    try {
+        value = field->asUint();
+    } catch (const std::logic_error &) {
+        reject(std::string("'") + key +
+               "' must be a non-negative integer");
+    }
+    if (value > max_value)
+        reject(std::string("'") + key + "' exceeds the maximum of " +
+               std::to_string(max_value));
+    return value;
+}
+
+double
+parseRateField(const JsonValue &object, const char *key,
+               double default_value)
+{
+    const JsonValue *field = object.find(key);
+    if (!field)
+        return default_value;
+    double value = 0.0;
+    try {
+        value = field->asDouble();
+    } catch (const std::logic_error &) {
+        reject(std::string("'") + key + "' must be a number");
+    }
+    if (!(value >= 0.0 && value <= 1.0))
+        reject(std::string("'") + key + "' must be in [0, 1]");
+    return value;
+}
+
+JobNoiseSpec
+parseNoiseSpec(const JsonValue &noise)
+{
+    if (!noise.isObject())
+        reject("'noise' must be an object");
+    requireKnownKeys(noise, "noise",
+                     {"p1", "p2", "shots", "seed", "observable"});
+    JobNoiseSpec spec;
+    spec.enabled = true;
+    spec.singleQubitError = parseRateField(noise, "p1",
+                                           spec.singleQubitError);
+    spec.twoQubitError = parseRateField(noise, "p2", spec.twoQubitError);
+    spec.shots = parseUintField(noise, "shots", 0, 10'000'000);
+    spec.seed = parseUintField(noise, "seed", 1, UINT64_MAX);
+    if (const JsonValue *observable = noise.find("observable")) {
+        try {
+            spec.observable = observable->asString();
+        } catch (const std::logic_error &) {
+            reject("'observable' must be a Pauli-label string");
+        }
+    }
+    if (spec.shots > 0 && spec.observable.empty())
+        reject("'shots' requires an 'observable' to measure");
+    return spec;
+}
+
+} // namespace
+
+std::string
+compactResultLine(const JsonValue &doc)
+{
+    std::string line = doc.dump(0);
+    while (!line.empty() && line.back() == '\n')
+        line.pop_back();
+    return line;
+}
+
+const char *
+errorCode(ServiceError error)
+{
+    switch (error) {
+      case ServiceError::None: return "none";
+      case ServiceError::InvalidJson: return "invalid-json";
+      case ServiceError::InvalidJob: return "invalid-job";
+      case ServiceError::QasmParse: return "qasm-parse";
+      case ServiceError::UnsupportedGate: return "unsupported-gate";
+      case ServiceError::UnknownBenchmark: return "unknown-benchmark";
+      case ServiceError::IoError: return "io-error";
+      case ServiceError::Timeout: return "timeout";
+      case ServiceError::QueueFull: return "queue-full";
+      case ServiceError::Internal: return "internal";
+    }
+    return "internal";
+}
+
+bool
+errorRetryable(ServiceError error)
+{
+    return error == ServiceError::Timeout ||
+           error == ServiceError::QueueFull;
+}
+
+const char *
+sourceName(JobSource source)
+{
+    switch (source) {
+      case JobSource::InlineQasm: return "qasm";
+      case JobSource::QasmFile: return "qasm_file";
+      case JobSource::Benchmark: return "benchmark";
+    }
+    return "qasm";
+}
+
+ParsedJob
+parseJobLine(const std::string &line, uint64_t seq)
+{
+    ParsedJob parsed;
+    JsonValue doc;
+    try {
+        doc = parseJson(line);
+    } catch (const std::invalid_argument &e) {
+        parsed.error = ServiceError::InvalidJson;
+        parsed.message = e.what();
+        return parsed;
+    }
+
+    JobRequest request;
+    request.id = "job-" + std::to_string(seq);
+    try {
+        if (!doc.isObject())
+            reject("job line must be a JSON object");
+
+        // The id parses before any other validation so that every
+        // later rejection (unknown key, bad payload, bad config) still
+        // carries the client's correlation id on its error line.
+        if (const JsonValue *id = doc.find("id")) {
+            try {
+                request.id = id->asString();
+            } catch (const std::logic_error &) {
+                reject("'id' must be a string");
+            }
+            if (request.id.empty())
+                reject("'id' must not be empty");
+        }
+
+        requireKnownKeys(doc, "job",
+                         {"id", "qasm", "qasm_file", "benchmark",
+                          "config"});
+
+        int payloads = 0;
+        const struct
+        {
+            const char *key;
+            JobSource source;
+        } kPayloadKeys[] = {
+            {"qasm", JobSource::InlineQasm},
+            {"qasm_file", JobSource::QasmFile},
+            {"benchmark", JobSource::Benchmark},
+        };
+        for (const auto &entry : kPayloadKeys) {
+            const JsonValue *payload = doc.find(entry.key);
+            if (!payload)
+                continue;
+            ++payloads;
+            request.source = entry.source;
+            try {
+                request.payload = payload->asString();
+            } catch (const std::logic_error &) {
+                reject(std::string("'") + entry.key +
+                       "' must be a string");
+            }
+            if (request.payload.empty())
+                reject(std::string("'") + entry.key +
+                       "' must not be empty");
+        }
+        if (payloads != 1)
+            reject("exactly one of 'qasm', 'qasm_file', or 'benchmark' "
+                   "is required");
+
+        if (const JsonValue *config = doc.find("config")) {
+            if (!config->isObject())
+                reject("'config' must be an object");
+            requireKnownKeys(*config, "config",
+                             {"threads", "local_opt", "commuting_blocks",
+                              "optimize_depth", "timeout_ms", "noise"});
+            request.threads = static_cast<uint32_t>(
+                parseUintField(*config, "threads", 1, kMaxThreads));
+            request.localOpt =
+                parseBoolField(*config, "local_opt", true);
+            request.commutingBlocks =
+                parseBoolField(*config, "commuting_blocks", true);
+            request.optimizeDepth =
+                parseBoolField(*config, "optimize_depth", true);
+            request.timeoutMs = parseUintField(*config, "timeout_ms", 0,
+                                               UINT64_MAX);
+            if (const JsonValue *noise = config->find("noise"))
+                request.noise = parseNoiseSpec(*noise);
+        }
+    } catch (const std::invalid_argument &e) {
+        parsed.error = ServiceError::InvalidJob;
+        parsed.message = e.what();
+        // Keep a client-supplied id when one parsed before the failure,
+        // so the client can correlate the error line.
+        parsed.request.id = request.id;
+        return parsed;
+    }
+
+    parsed.request = std::move(request);
+    return parsed;
+}
+
+std::string
+errorResultLine(uint64_t seq, const std::string &id, ServiceError error,
+                const std::string &message)
+{
+    JsonValue doc = JsonValue::object();
+    doc["schema"] = kResultSchema;
+    doc["id"] = id.empty() ? "job-" + std::to_string(seq) : id;
+    doc["seq"] = seq;
+    doc["status"] = "error";
+    JsonValue &detail = doc["error"];
+    detail["code"] = errorCode(error);
+    detail["retryable"] = errorRetryable(error);
+    detail["message"] = message;
+    return compactResultLine(doc);
+}
+
+JsonValue
+successResultShell(uint64_t seq, const JobRequest &request)
+{
+    JsonValue doc = JsonValue::object();
+    doc["schema"] = kResultSchema;
+    doc["id"] = request.id;
+    doc["seq"] = seq;
+    doc["status"] = "ok";
+    JsonValue &config = doc["config"];
+    config["threads"] = request.threads;
+    config["local_opt"] = request.localOpt;
+    config["commuting_blocks"] = request.commutingBlocks;
+    config["optimize_depth"] = request.optimizeDepth;
+    return doc;
+}
+
+} // namespace quclear::service

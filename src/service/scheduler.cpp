@@ -1,0 +1,89 @@
+#include "service/scheduler.hpp"
+
+#include <utility>
+
+namespace quclear::service {
+
+JobScheduler::JobScheduler(uint32_t workers, size_t max_queue,
+                           Runner runner, std::ostream &out)
+    : maxQueue_(max_queue > 0 ? max_queue : 1), runner_(std::move(runner)),
+      out_(out), pool_(workers)
+{
+}
+
+bool
+JobScheduler::trySchedule(JobRequest request, uint64_t seq)
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (inFlight_ >= maxQueue_)
+            return false;
+        ++inFlight_;
+    }
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point deadline =
+        request.timeoutMs != 0
+            ? Clock::now() + std::chrono::milliseconds(request.timeoutMs)
+            : Clock::time_point::max();
+    pool_.submit([this, request = std::move(request), seq, deadline] {
+        std::string line;
+        if (Clock::now() > deadline) {
+            line = errorResultLine(
+                seq, request.id, ServiceError::Timeout,
+                "admission deadline of " +
+                    std::to_string(request.timeoutMs) +
+                    " ms expired before the job started");
+        } else {
+            try {
+                line = runner_(request, seq);
+            } catch (const std::exception &e) {
+                // runJobLine never throws; this guards injected runners.
+                line = errorResultLine(seq, request.id,
+                                       ServiceError::Internal, e.what());
+            }
+        }
+        emit(seq, line);
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            --inFlight_;
+        }
+    });
+    return true;
+}
+
+void
+JobScheduler::emit(uint64_t seq, const std::string &line)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (seq != nextSeq_) {
+        reorderBuffer_.emplace(seq, line);
+        return;
+    }
+    // This slot unblocks the stream; flush any buffered successors too.
+    out_ << line << '\n';
+    ++nextSeq_;
+    auto it = reorderBuffer_.begin();
+    while (it != reorderBuffer_.end() && it->first == nextSeq_) {
+        out_ << it->second << '\n';
+        ++nextSeq_;
+        it = reorderBuffer_.erase(it);
+    }
+    // One flush per batch: downstream consumers see complete lines as
+    // soon as their sequence slot clears.
+    out_.flush();
+}
+
+size_t
+JobScheduler::inFlight() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return inFlight_;
+}
+
+void
+JobScheduler::drain()
+{
+    pool_.drainTasks();
+}
+
+} // namespace quclear::service

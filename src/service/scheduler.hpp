@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Bounded-queue job scheduler over the shared WorkerPool.
+ *
+ * Admission, execution, and emission for a stream of compilation jobs:
+ *  - trySchedule() admits a job when fewer than maxQueue jobs are in
+ *    flight (queued + running) and rejects otherwise — the server
+ *    turns a rejection into the retryable `queue-full` error, so
+ *    backpressure is explicit and immediate rather than an unbounded
+ *    buffer;
+ *  - jobs execute on WorkerPool::submit — `workers` concurrent
+ *    compilations on a multi-thread pool, the exact sequential code
+ *    path on a single-thread pool;
+ *  - every result is emitted through a sequencer that restores job
+ *    submission order, so the output stream is deterministic even when
+ *    jobs finish out of order (docs/SERVICE.md "Ordering").
+ *
+ * The runner is injected so tests can drive the queue with blocking
+ * stand-ins; the server wires in service::runJobLine.
+ */
+#ifndef QUCLEAR_SERVICE_SCHEDULER_HPP
+#define QUCLEAR_SERVICE_SCHEDULER_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "service/protocol.hpp"
+#include "util/worker_pool.hpp"
+
+namespace quclear::service {
+
+/** Runs jobs against a bounded in-flight window, emitting in order. */
+class JobScheduler
+{
+  public:
+    /** Produces the result line (no newline) for one job. */
+    using Runner = std::function<std::string(const JobRequest &, uint64_t)>;
+
+    /**
+     * @param workers scheduler concurrency (WorkerPool semantics:
+     *        0 = hardware concurrency, 1 = run jobs inline)
+     * @param max_queue in-flight job bound (queued + running); floor 1
+     * @param runner job executor (service::runJobLine in production)
+     * @param out stream receiving one result line per job
+     */
+    JobScheduler(uint32_t workers, size_t max_queue, Runner runner,
+                 std::ostream &out);
+
+    JobScheduler(const JobScheduler &) = delete;
+    JobScheduler &operator=(const JobScheduler &) = delete;
+
+    /** ~WorkerPool joins running jobs; drain() first for clean output. */
+    ~JobScheduler() = default;
+
+    /**
+     * Admit one job. Returns false when the in-flight window is full
+     * (nothing is emitted — the caller owns the queue-full error so the
+     * sequence slot is still accounted for). On admission the job's
+     * admission deadline (JobRequest::timeoutMs) starts now; a job
+     * whose deadline has expired by the time a worker picks it up emits
+     * the `timeout` error instead of running. Owner-thread only.
+     */
+    bool trySchedule(JobRequest request, uint64_t seq);
+
+    /**
+     * Emit @p line (no trailing newline) for sequence slot @p seq.
+     * Lines appear on the output stream strictly in seq order; gaps
+     * buffer until their slot arrives. Every seq must be emitted
+     * exactly once. Thread-safe.
+     */
+    void emit(uint64_t seq, const std::string &line);
+
+    /** Jobs admitted and not yet completed. Thread-safe. */
+    size_t inFlight() const;
+
+    /**
+     * Block until every admitted job has completed and been emitted.
+     * Owner-thread only.
+     */
+    void drain();
+
+  private:
+    const size_t maxQueue_;
+    const Runner runner_;
+    std::ostream &out_;
+
+    mutable std::mutex mutex_;
+    size_t inFlight_ = 0;
+    uint64_t nextSeq_ = 0;
+    std::map<uint64_t, std::string> reorderBuffer_;
+
+    /** Last member: jobs reference the fields above during teardown. */
+    WorkerPool pool_;
+};
+
+} // namespace quclear::service
+
+#endif // QUCLEAR_SERVICE_SCHEDULER_HPP

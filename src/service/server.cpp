@@ -1,0 +1,242 @@
+#include "service/server.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "service/job_runner.hpp"
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <streambuf>
+#endif
+
+namespace quclear::service {
+
+namespace {
+
+/**
+ * Upper bound on one job line. Inline-QASM payloads for paper-scale
+ * circuits are a few MB; 64 MiB leaves an order of magnitude of
+ * headroom while keeping a runaway line from exhausting memory.
+ */
+constexpr size_t kMaxLineBytes = 64u << 20;
+
+bool
+isBlank(const std::string &line)
+{
+    for (const char c : line)
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            return false;
+    return true;
+}
+
+} // namespace
+
+uint64_t
+serveStream(std::istream &in, std::ostream &out,
+            const ServeOptions &options)
+{
+    JobScheduler scheduler(options.workers, options.maxQueue,
+                           [](const JobRequest &request, uint64_t seq) {
+                               return runJobLine(request, seq);
+                           },
+                           out);
+    uint64_t seq = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back(); // CRLF tolerance
+        if (isBlank(line))
+            continue;
+        if (line.size() > kMaxLineBytes) {
+            scheduler.emit(
+                seq, errorResultLine(
+                         seq, "", ServiceError::InvalidJson,
+                         "job line exceeds " +
+                             std::to_string(kMaxLineBytes) + " bytes"));
+            ++seq;
+            continue;
+        }
+        ParsedJob parsed = parseJobLine(line, seq);
+        if (parsed.error != ServiceError::None) {
+            scheduler.emit(seq,
+                           errorResultLine(seq, parsed.request.id,
+                                           parsed.error, parsed.message));
+            ++seq;
+            continue;
+        }
+        const std::string id = parsed.request.id;
+        if (!scheduler.trySchedule(std::move(parsed.request), seq)) {
+            scheduler.emit(
+                seq,
+                errorResultLine(seq, id, ServiceError::QueueFull,
+                                "in-flight job limit of " +
+                                    std::to_string(options.maxQueue) +
+                                    " reached; retry later"));
+        }
+        ++seq;
+    }
+    scheduler.drain();
+    return seq;
+}
+
+#ifndef _WIN32
+
+namespace {
+
+/** Bidirectional std::streambuf over one socket fd. */
+class FdStreamBuf : public std::streambuf
+{
+  public:
+    explicit FdStreamBuf(int fd) : fd_(fd)
+    {
+        setg(inBuf_, inBuf_, inBuf_);
+        setp(outBuf_, outBuf_ + sizeof outBuf_);
+    }
+
+  protected:
+    int_type underflow() override
+    {
+        if (gptr() < egptr())
+            return traits_type::to_int_type(*gptr());
+        ssize_t n;
+        do {
+            n = ::read(fd_, inBuf_, sizeof inBuf_);
+        } while (n < 0 && errno == EINTR);
+        if (n <= 0)
+            return traits_type::eof();
+        setg(inBuf_, inBuf_, inBuf_ + n);
+        return traits_type::to_int_type(*gptr());
+    }
+
+    int_type overflow(int_type ch) override
+    {
+        if (flushOut() != 0)
+            return traits_type::eof();
+        if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+            *pptr() = traits_type::to_char_type(ch);
+            pbump(1);
+        }
+        return traits_type::not_eof(ch);
+    }
+
+    int sync() override { return flushOut(); }
+
+  private:
+    int flushOut()
+    {
+        const char *data = pbase();
+        size_t remaining = static_cast<size_t>(pptr() - pbase());
+        while (remaining > 0) {
+            // MSG_NOSIGNAL: a client that hangs up must surface as a
+            // stream error, not a process-killing SIGPIPE.
+            const ssize_t n =
+                ::send(fd_, data, remaining, MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return -1;
+            }
+            data += n;
+            remaining -= static_cast<size_t>(n);
+        }
+        setp(outBuf_, outBuf_ + sizeof outBuf_);
+        return 0;
+    }
+
+    int fd_;
+    char inBuf_[1 << 16];
+    char outBuf_[1 << 16];
+};
+
+} // namespace
+
+int
+serveTcp(uint16_t port, const ServeOptions &options,
+         size_t max_connections,
+         const std::function<void(uint16_t)> &on_listening)
+{
+    const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0) {
+        std::fprintf(stderr, "socket: %s\n", std::strerror(errno));
+        return kExitRuntime;
+    }
+    const int enable = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &enable,
+                 sizeof enable);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listen_fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listen_fd, 16) != 0) {
+        std::fprintf(stderr, "cannot listen on 127.0.0.1:%u: %s\n",
+                     static_cast<unsigned>(port), std::strerror(errno));
+        ::close(listen_fd);
+        return kExitRuntime;
+    }
+    socklen_t addr_len = sizeof addr;
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr *>(&addr),
+                      &addr_len) != 0) {
+        std::fprintf(stderr, "getsockname: %s\n", std::strerror(errno));
+        ::close(listen_fd);
+        return kExitRuntime;
+    }
+    const uint16_t bound_port = ntohs(addr.sin_port);
+    std::fprintf(stderr, "quclear_cli: serving on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(bound_port));
+    if (on_listening)
+        on_listening(bound_port);
+
+    size_t served = 0;
+    while (max_connections == 0 || served < max_connections) {
+        int conn_fd;
+        do {
+            conn_fd = ::accept(listen_fd, nullptr, nullptr);
+        } while (conn_fd < 0 && errno == EINTR);
+        if (conn_fd < 0) {
+            std::fprintf(stderr, "accept: %s\n", std::strerror(errno));
+            ::close(listen_fd);
+            return kExitRuntime;
+        }
+        FdStreamBuf buf(conn_fd);
+        // Distinct stream objects over the shared buffer: getline()
+        // hitting EOF sets failbit on the input stream, and that must
+        // not poison the output side — results drain after EOF.
+        std::istream conn_in(&buf);
+        std::ostream conn_out(&buf);
+        const uint64_t jobs = serveStream(conn_in, conn_out, options);
+        conn_out.flush();
+        ::close(conn_fd);
+        ++served;
+        std::fprintf(stderr,
+                     "quclear_cli: connection closed after %llu job(s)\n",
+                     static_cast<unsigned long long>(jobs));
+    }
+    ::close(listen_fd);
+    return kExitOk;
+}
+
+#else // _WIN32
+
+int
+serveTcp(uint16_t, const ServeOptions &, size_t,
+         const std::function<void(uint16_t)> &)
+{
+    std::fprintf(stderr, "--listen is not supported on this platform\n");
+    return kExitRuntime;
+}
+
+#endif
+
+} // namespace quclear::service

@@ -1,0 +1,331 @@
+#include "util/json_reader.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace quclear {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue parseDocument()
+    {
+        JsonValue value = parseValue(0);
+        skipWhitespace();
+        if (pos_ != text_.size())
+            fail("trailing content after JSON value");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &message) const
+    {
+        throw std::invalid_argument("JSON parse error at byte " +
+                                    std::to_string(pos_) + ": " + message);
+    }
+
+    void skipWhitespace()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    char peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consumeLiteral(const char *literal)
+    {
+        size_t n = 0;
+        while (literal[n] != '\0')
+            ++n;
+        if (text_.compare(pos_, n, literal) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    JsonValue parseValue(int depth)
+    {
+        if (depth > kMaxDepth)
+            fail("nesting too deep");
+        skipWhitespace();
+        const char c = peek();
+        switch (c) {
+          case '{':
+            return parseObject(depth);
+          case '[':
+            return parseArray(depth);
+          case '"':
+            return JsonValue(parseString());
+          case 't':
+            if (!consumeLiteral("true"))
+                fail("invalid literal");
+            return JsonValue(true);
+          case 'f':
+            if (!consumeLiteral("false"))
+                fail("invalid literal");
+            return JsonValue(false);
+          case 'n':
+            if (!consumeLiteral("null"))
+                fail("invalid literal");
+            return JsonValue();
+          default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return parseNumber();
+            fail("unexpected character");
+        }
+    }
+
+    JsonValue parseObject(int depth)
+    {
+        expect('{');
+        JsonValue object = JsonValue::object();
+        skipWhitespace();
+        if (peek() == '}') {
+            ++pos_;
+            return object;
+        }
+        for (;;) {
+            skipWhitespace();
+            if (peek() != '"')
+                fail("expected object key");
+            const std::string key = parseString();
+            if (object.find(key) != nullptr)
+                fail("duplicate object key '" + key + "'");
+            skipWhitespace();
+            expect(':');
+            object[key] = parseValue(depth + 1);
+            skipWhitespace();
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == '}') {
+                ++pos_;
+                return object;
+            }
+            fail("expected ',' or '}'");
+        }
+    }
+
+    JsonValue parseArray(int depth)
+    {
+        expect('[');
+        JsonValue array = JsonValue::array();
+        skipWhitespace();
+        if (peek() == ']') {
+            ++pos_;
+            return array;
+        }
+        for (;;) {
+            array.append(parseValue(depth + 1));
+            skipWhitespace();
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == ']') {
+                ++pos_;
+                return array;
+            }
+            fail("expected ',' or ']'");
+        }
+    }
+
+    void appendUtf8(std::string &out, uint32_t code_point)
+    {
+        if (code_point < 0x80) {
+            out += static_cast<char>(code_point);
+        } else if (code_point < 0x800) {
+            out += static_cast<char>(0xC0 | (code_point >> 6));
+            out += static_cast<char>(0x80 | (code_point & 0x3F));
+        } else if (code_point < 0x10000) {
+            out += static_cast<char>(0xE0 | (code_point >> 12));
+            out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code_point & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (code_point >> 18));
+            out += static_cast<char>(0x80 | ((code_point >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code_point & 0x3F));
+        }
+    }
+
+    uint32_t parseHex4()
+    {
+        if (pos_ + 4 > text_.size())
+            fail("truncated \\u escape");
+        uint32_t value = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            value <<= 4;
+            if (c >= '0' && c <= '9')
+                value |= static_cast<uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                value |= static_cast<uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                value |= static_cast<uint32_t>(c - 'A' + 10);
+            else
+                fail("invalid \\u escape");
+        }
+        return value;
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("truncated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                uint32_t code_point = parseHex4();
+                if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+                    // High surrogate: a low surrogate must follow.
+                    if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                        text_[pos_ + 1] != 'u')
+                        fail("unpaired surrogate");
+                    pos_ += 2;
+                    const uint32_t low = parseHex4();
+                    if (low < 0xDC00 || low > 0xDFFF)
+                        fail("unpaired surrogate");
+                    code_point = 0x10000 +
+                                 ((code_point - 0xD800) << 10) +
+                                 (low - 0xDC00);
+                } else if (code_point >= 0xDC00 && code_point <= 0xDFFF) {
+                    fail("unpaired surrogate");
+                }
+                appendUtf8(out, code_point);
+                break;
+              }
+              default:
+                fail("invalid escape");
+            }
+        }
+    }
+
+    JsonValue parseNumber()
+    {
+        const size_t start = pos_;
+        bool is_double = false;
+        if (peek() == '-')
+            ++pos_;
+        if (pos_ >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            fail("invalid number");
+        // Leading zero may not be followed by more digits (RFC 8259).
+        if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+            std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))
+            fail("leading zero in number");
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            is_double = true;
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                fail("invalid fraction");
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            is_double = true;
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                fail("invalid exponent");
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        const std::string token = text_.substr(start, pos_ - start);
+        if (!is_double) {
+            errno = 0;
+            char *end = nullptr;
+            if (token[0] == '-') {
+                const long long v = std::strtoll(token.c_str(), &end, 10);
+                if (errno != ERANGE && end == token.c_str() + token.size())
+                    return JsonValue(static_cast<int64_t>(v));
+            } else {
+                const unsigned long long v =
+                    std::strtoull(token.c_str(), &end, 10);
+                if (errno != ERANGE && end == token.c_str() + token.size())
+                    return JsonValue(static_cast<uint64_t>(v));
+            }
+            // Integer out of 64-bit range: keep the value as a double,
+            // matching the tolerance most JSON libraries apply.
+        }
+        errno = 0;
+        char *end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            fail("invalid number");
+        return JsonValue(v);
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).parseDocument();
+}
+
+} // namespace quclear

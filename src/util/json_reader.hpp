@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Strict JSON parser producing util/json_writer JsonValue trees.
+ *
+ * Built for the service protocol's JSONL job lines (docs/SERVICE.md),
+ * where every input byte comes from an untrusted client: the grammar is
+ * exactly RFC 8259 (no comments, no trailing commas, no NaN/Inf),
+ * duplicate object keys are rejected rather than silently last-wins,
+ * nesting depth is bounded, and trailing non-whitespace after the
+ * top-level value is an error. Numbers parse to the same Int/Uint/
+ * Double kinds json_writer serializes, so parse(dump(v)) round-trips.
+ */
+#ifndef QUCLEAR_UTIL_JSON_READER_HPP
+#define QUCLEAR_UTIL_JSON_READER_HPP
+
+#include <string>
+
+#include "util/json_writer.hpp"
+
+namespace quclear {
+
+/**
+ * Parse one complete JSON document.
+ * @throws std::invalid_argument on any syntax error, duplicate object
+ *         key, or nesting beyond 64 levels; the message carries the
+ *         byte offset of the failure
+ */
+JsonValue parseJson(const std::string &text);
+
+} // namespace quclear
+
+#endif // QUCLEAR_UTIL_JSON_READER_HPP

@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <stdexcept>
 
@@ -110,6 +111,100 @@ JsonValue::size() const
     if (kind_ == Kind::Object)
         return members_.size();
     return 0;
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        throw std::logic_error("JsonValue: not a bool");
+    return bool_;
+}
+
+int64_t
+JsonValue::asInt() const
+{
+    switch (kind_) {
+      case Kind::Int:
+        return int_;
+      case Kind::Uint:
+        if (uint_ > static_cast<uint64_t>(INT64_MAX))
+            throw std::logic_error("JsonValue: integer out of int64 range");
+        return static_cast<int64_t>(uint_);
+      case Kind::Double: {
+        const auto as_int = static_cast<int64_t>(double_);
+        if (static_cast<double>(as_int) != double_)
+            throw std::logic_error("JsonValue: double is not an integer");
+        return as_int;
+      }
+      default:
+        throw std::logic_error("JsonValue: not a number");
+    }
+}
+
+uint64_t
+JsonValue::asUint() const
+{
+    switch (kind_) {
+      case Kind::Uint:
+        return uint_;
+      case Kind::Int:
+        if (int_ < 0)
+            throw std::logic_error("JsonValue: negative integer");
+        return static_cast<uint64_t>(int_);
+      case Kind::Double: {
+        if (double_ < 0)
+            throw std::logic_error("JsonValue: negative integer");
+        const auto as_uint = static_cast<uint64_t>(double_);
+        if (static_cast<double>(as_uint) != double_)
+            throw std::logic_error("JsonValue: double is not an integer");
+        return as_uint;
+      }
+      default:
+        throw std::logic_error("JsonValue: not a number");
+    }
+}
+
+double
+JsonValue::asDouble() const
+{
+    switch (kind_) {
+      case Kind::Double:
+        return double_;
+      case Kind::Int:
+        return static_cast<double>(int_);
+      case Kind::Uint:
+        return static_cast<double>(uint_);
+      default:
+        throw std::logic_error("JsonValue: not a number");
+    }
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        throw std::logic_error("JsonValue: not a string");
+    return string_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &member : members_)
+        if (member.first == key)
+            return &member.second;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(size_t index) const
+{
+    if (kind_ != Kind::Array || index >= elements_.size())
+        throw std::logic_error("JsonValue: array index out of range");
+    return elements_[index];
 }
 
 std::string

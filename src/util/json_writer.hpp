@@ -1,11 +1,12 @@
 /**
  * @file
  * Minimal ordered JSON document builder for machine-readable outputs:
- * the bench harnesses' BENCH_<name>.json artifacts and any tool that
- * needs structured results. Write-only by design (no parser): values
- * are built as a tree and serialized with stable member order, exact
- * integer formatting, and round-trippable doubles, so artifact diffs
- * stay meaningful across runs.
+ * the bench harnesses' BENCH_<name>.json artifacts, the service
+ * protocol's result lines, and any tool that needs structured results.
+ * Values are built as a tree and serialized with stable member order,
+ * exact integer formatting, and round-trippable doubles, so artifact
+ * diffs stay meaningful across runs. The matching parser lives in
+ * util/json_reader.hpp; the read accessors below serve both sides.
  */
 #ifndef QUCLEAR_UTIL_JSON_WRITER_HPP
 #define QUCLEAR_UTIL_JSON_WRITER_HPP
@@ -99,6 +100,56 @@ class JsonValue
 
     /** Number of array elements / object members (0 for scalars). */
     size_t size() const;
+
+    /** @name Read accessors (used by the json_reader consumers).
+     * The scalar getters are strict about kind — no implicit
+     * stringification — but the numeric ones coerce between Int, Uint,
+     * and Double when the value is exactly representable, since JSON
+     * itself does not distinguish them.
+     * @{ */
+
+    /** @throws std::logic_error when the value is not a Bool */
+    bool asBool() const;
+
+    /**
+     * Value as int64. Accepts Int, in-range Uint, and integral Double.
+     * @throws std::logic_error on kind/range mismatch
+     */
+    int64_t asInt() const;
+
+    /**
+     * Value as uint64. Accepts Uint, non-negative Int, and integral
+     * non-negative Double.
+     * @throws std::logic_error on kind/range mismatch
+     */
+    uint64_t asUint() const;
+
+    /** Value as double (Int, Uint, or Double).
+     * @throws std::logic_error for non-numeric kinds */
+    double asDouble() const;
+
+    /** @throws std::logic_error when the value is not a String */
+    const std::string &asString() const;
+
+    /**
+     * Object member lookup without creation.
+     * @return the member, or nullptr when absent or not an object
+     */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Array element access. @throws std::logic_error out of range */
+    const JsonValue &at(size_t index) const;
+
+    /** Object members in insertion order (empty for non-objects). */
+    const std::deque<std::pair<std::string, JsonValue>> &members() const
+    {
+        return members_;
+    }
+
+    /** Array elements (empty for non-arrays). */
+    const std::deque<JsonValue> &elements() const { return elements_; }
+
+    /** @} */
 
     /**
      * Serialize. @p indent > 0 pretty-prints with that many spaces per

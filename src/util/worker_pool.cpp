@@ -99,40 +99,102 @@ WorkerPool::parallelFor(size_t count,
 }
 
 void
+WorkerPool::submit(std::function<void()> task)
+{
+    if (threadCount_ > 1)
+        ensureWorkers(); // may shrink threadCount_ on spawn failure
+    if (threadCount_ <= 1) {
+        // Inline execution: the sequential code path, same as
+        // parallelFor on a single-thread pool. No workers exist, so
+        // taskError_ needs no lock here.
+        try {
+            task();
+        } catch (...) {
+            if (!taskError_)
+                taskError_ = std::current_exception();
+        }
+        return;
+    }
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push_back(std::move(task));
+        ++tasksPending_;
+    }
+    wake_.notify_one();
+}
+
+void
+WorkerPool::drainTasks()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return tasksPending_ == 0; });
+    if (taskError_) {
+        const std::exception_ptr error = taskError_;
+        taskError_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+void
 WorkerPool::workerMain(uint32_t id)
 {
     uint64_t seen = 0;
     for (;;) {
-        const std::function<void(size_t, size_t)> *job;
-        size_t count;
+        const std::function<void(size_t, size_t)> *job = nullptr;
+        std::function<void()> task;
+        size_t count = 0;
         {
             std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock,
-                       [&] { return stop_ || generation_ != seen; });
+            wake_.wait(lock, [&] {
+                return stop_ || generation_ != seen || !tasks_.empty();
+            });
             if (stop_)
                 return;
-            seen = generation_;
-            job = job_;
-            count = jobCount_;
+            if (generation_ != seen) {
+                // A parallelFor dispatch outranks queued tasks: every
+                // worker owes its chunk before the barrier can clear.
+                seen = generation_;
+                job = job_;
+                count = jobCount_;
+            } else {
+                task = std::move(tasks_.front());
+                tasks_.pop_front();
+            }
         }
-        const size_t begin = static_cast<size_t>(id) * count / threadCount_;
-        const size_t end =
-            static_cast<size_t>(id + 1) * count / threadCount_;
         std::exception_ptr error;
-        if (begin < end) {
+        if (job) {
+            const size_t begin =
+                static_cast<size_t>(id) * count / threadCount_;
+            const size_t end =
+                static_cast<size_t>(id + 1) * count / threadCount_;
+            if (begin < end) {
+                try {
+                    (*job)(begin, end);
+                } catch (...) {
+                    error = std::current_exception();
+                }
+            }
+            {
+                const std::lock_guard<std::mutex> lock(mutex_);
+                if (error && !error_)
+                    error_ = error;
+                --pending_;
+            }
+        } else {
             try {
-                (*job)(begin, end);
+                task();
             } catch (...) {
                 error = std::current_exception();
             }
+            {
+                const std::lock_guard<std::mutex> lock(mutex_);
+                if (error && !taskError_)
+                    taskError_ = error;
+                --tasksPending_;
+            }
         }
-        {
-            const std::lock_guard<std::mutex> lock(mutex_);
-            if (error && !error_)
-                error_ = error;
-            --pending_;
-        }
-        done_.notify_one();
+        done_.notify_all();
     }
 }
 

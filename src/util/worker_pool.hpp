@@ -6,11 +6,13 @@
  * deterministic by construction: every task writes only its own output
  * slot and reads only shared immutable state, so the result is
  * bit-identical for every thread count. The pool therefore offers just
- * one primitive — a blocking parallelFor over a contiguous index range
- * with static chunking — and resolves a `threads` knob where 0 means
- * hardware concurrency and 1 means fully inline execution (no worker
- * threads are spawned at all, so the sequential path stays the exact
- * code path of a single-threaded build).
+ * two primitives — a blocking parallelFor over a contiguous index range
+ * with static chunking, and an asynchronous submit/drainTasks task
+ * queue for the service scheduler's job-level concurrency — and
+ * resolves a `threads` knob where 0 means hardware concurrency and 1
+ * means fully inline execution (no worker threads are spawned at all,
+ * so the sequential path stays the exact code path of a
+ * single-threaded build).
  */
 #ifndef QUCLEAR_UTIL_WORKER_POOL_HPP
 #define QUCLEAR_UTIL_WORKER_POOL_HPP
@@ -18,6 +20,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -65,6 +68,25 @@ class WorkerPool
     void parallelFor(size_t count,
                      const std::function<void(size_t, size_t)> &chunk);
 
+    /**
+     * Enqueue @p task for asynchronous execution on a pool worker and
+     * return immediately. Tasks run in submission order when picked up,
+     * but concurrently with each other on a multi-thread pool; on a
+     * single-thread pool (threadCount() == 1) the task runs inline
+     * right here, so a `threads = 1` service configuration is exactly
+     * the sequential code path. Owner-thread only (the thread that
+     * constructed the pool), like parallelFor. An exception escaping a
+     * task is parked and rethrown from the next drainTasks() call.
+     * Tasks must not call parallelFor or submit on the same pool.
+     */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every submitted task has finished, then rethrow the
+     * first parked task exception, if any. Owner-thread only.
+     */
+    void drainTasks();
+
   private:
     /** Spawn the worker threads if not running yet (owner thread only). */
     void ensureWorkers();
@@ -84,6 +106,14 @@ class WorkerPool
     bool stop_ = false;
     /** First exception a chunk threw; rethrown after the join barrier. */
     std::exception_ptr error_ = nullptr;
+
+    /** Submitted-but-not-started tasks. Dropped on destruction; the
+     *  scheduler drains before tearing the pool down. */
+    std::deque<std::function<void()>> tasks_;
+    /** Tasks submitted and not yet finished (queued + running). */
+    size_t tasksPending_ = 0;
+    /** First exception a task threw; rethrown from drainTasks(). */
+    std::exception_ptr taskError_ = nullptr;
 };
 
 } // namespace quclear

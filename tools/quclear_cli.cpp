@@ -1,8 +1,9 @@
 /**
  * @file
- * Command-line front end: optimize an OpenQASM 2.0 circuit with QuCLEAR.
+ * Command-line front end: optimize an OpenQASM 2.0 circuit with
+ * QuCLEAR, one-shot or as a long-lived compilation service.
  *
- * Usage:
+ * One-shot mode:
  *   quclear_cli [options] input.qasm
  *     -o FILE            write the optimized circuit as OpenQASM 2.0
  *     --observables STR  comma-separated Pauli labels to absorb
@@ -12,12 +13,20 @@
  *     --noise P1,P2      report estimated fidelity with the given
  *                        1q/2q depolarizing rates
  *
- * Reads the circuit, rewrites it as a Pauli program, runs Clifford
- * Extraction and Absorption, and prints a compilation report.
+ * Serve mode (docs/SERVICE.md):
+ *   quclear_cli --serve [--max-queue N] [--threads N]
+ *   quclear_cli --listen PORT [--max-queue N] [--threads N]
+ *     JSONL jobs in (stdin or TCP), one quclear-service-result/v1
+ *     JSON line out per job.
+ *
+ * Exit codes are shared by both modes (service::ExitCode): 0 success /
+ * clean shutdown, 1 runtime failure, 2 usage error. Serve-mode job
+ * failures are in-band error lines, never process exits.
  */
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -29,6 +38,7 @@
 #include "circuit/qasm.hpp"
 #include "circuit/qasm_import.hpp"
 #include "core/quclear.hpp"
+#include "service/server.hpp"
 #include "sim/noise_model.hpp"
 #include "util/timer.hpp"
 #include "verify/equivalence.hpp"
@@ -36,6 +46,9 @@
 namespace {
 
 using namespace quclear;
+using service::kExitOk;
+using service::kExitRuntime;
+using service::kExitUsage;
 
 std::vector<std::string>
 splitCommas(const std::string &s)
@@ -54,21 +67,62 @@ printUsage()
 {
     std::fputs(
         "usage: quclear_cli [options] input.qasm\n"
+        "       quclear_cli --serve [--max-queue N] [--threads N]\n"
+        "       quclear_cli --listen PORT [--max-queue N] [--threads N]\n"
         "  -o FILE            write optimized OpenQASM 2.0\n"
         "  --observables STR  comma-separated Pauli labels to absorb\n"
         "  --qaoa             probability-mode absorption (Prop. 1)\n"
         "  --no-local-opt     skip the local-rewrite pipeline\n"
-        "  --threads N        worker threads for the batched/parallel\n"
-        "                     compilation paths (0 = hardware\n"
-        "                     concurrency, 1 = sequential; the output\n"
-        "                     is identical for every value)\n"
+        "  --threads N        one-shot: worker threads for the batched/\n"
+        "                     parallel compilation paths; serve mode:\n"
+        "                     concurrent jobs (0 = hardware concurrency,\n"
+        "                     1 = sequential; compiled output is\n"
+        "                     identical for every value)\n"
         "  --verify           prove equivalence (dense sim, <= 12 qubits)\n"
         "  --noise P1,P2      fidelity estimate with depolarizing rates\n"
         "  --hamiltonian FILE absorb a Pauli-sum Hamiltonian (text\n"
         "                     format: 'coeff label' per line) and plan\n"
         "                     grouped measurements; verifies the energy\n"
-        "                     on <= 12 qubits\n",
+        "                     on <= 12 qubits\n"
+        "  --serve            JSONL job server on stdin/stdout\n"
+        "                     (docs/SERVICE.md)\n"
+        "  --listen PORT      same protocol on 127.0.0.1:PORT (0 = pick\n"
+        "                     an ephemeral port)\n"
+        "  --max-queue N      serve mode: in-flight job bound before\n"
+        "                     retryable queue-full rejections "
+        "(default 64)\n"
+        "exit codes (both modes): 0 success, 1 runtime failure, "
+        "2 usage error\n",
         stderr);
+}
+
+/**
+ * Parse a digits-only integer flag value with an inclusive upper
+ * bound; returns false (with a diagnostic) on anything else. stoul
+ * alone silently wraps negatives, hence the digits check.
+ */
+bool
+parseCountFlag(const char *flag, const std::string &value,
+               unsigned long max_value, unsigned long &out)
+{
+    const bool digits_only =
+        !value.empty() &&
+        value.find_first_not_of("0123456789") == std::string::npos;
+    unsigned long parsed = 0;
+    if (digits_only) {
+        try {
+            parsed = std::stoul(value);
+        } catch (const std::exception &) {
+            parsed = max_value + 1; // out_of_range -> rejected below
+        }
+    }
+    if (!digits_only || parsed > max_value) {
+        std::fprintf(stderr, "invalid %s value: %s\n", flag,
+                     value.c_str());
+        return false;
+    }
+    out = parsed;
+    return true;
 }
 
 } // namespace
@@ -79,33 +133,38 @@ main(int argc, char **argv)
     std::string input_path, output_path, observables_arg, noise_arg;
     std::string hamiltonian_path;
     bool qaoa = false, verify = false, local_opt = true;
+    bool serve = false, listen = false;
+    uint16_t listen_port = 0;
     uint32_t threads = 0;
+    size_t max_queue = 64;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "-o" && i + 1 < argc) {
             output_path = argv[++i];
         } else if (arg == "--threads" && i + 1 < argc) {
-            // stoul silently wraps negatives, so validate by hand:
-            // digits only, sane upper bound.
-            const std::string value = argv[++i];
-            const bool digits_only =
-                !value.empty() &&
-                value.find_first_not_of("0123456789") == std::string::npos;
             unsigned long parsed = 0;
-            if (digits_only) {
-                try {
-                    parsed = std::stoul(value);
-                } catch (const std::exception &) {
-                    parsed = 1025; // out_of_range -> rejected below
-                }
-            }
-            if (!digits_only || parsed > 1024) {
-                std::fprintf(stderr, "invalid --threads value: %s\n",
-                             value.c_str());
-                return 2;
-            }
+            if (!parseCountFlag("--threads", argv[++i], 1024, parsed))
+                return kExitUsage;
             threads = static_cast<uint32_t>(parsed);
+        } else if (arg == "--max-queue" && i + 1 < argc) {
+            unsigned long parsed = 0;
+            if (!parseCountFlag("--max-queue", argv[++i], 1'000'000,
+                                parsed))
+                return kExitUsage;
+            if (parsed == 0) {
+                std::fprintf(stderr, "invalid --max-queue value: 0\n");
+                return kExitUsage;
+            }
+            max_queue = parsed;
+        } else if (arg == "--listen" && i + 1 < argc) {
+            unsigned long parsed = 0;
+            if (!parseCountFlag("--listen", argv[++i], 65535, parsed))
+                return kExitUsage;
+            listen = true;
+            listen_port = static_cast<uint16_t>(parsed);
+        } else if (arg == "--serve") {
+            serve = true;
         } else if (arg == "--observables" && i + 1 < argc) {
             observables_arg = argv[++i];
         } else if (arg == "--noise" && i + 1 < argc) {
@@ -120,24 +179,50 @@ main(int argc, char **argv)
             local_opt = false;
         } else if (arg == "-h" || arg == "--help") {
             printUsage();
-            return 0;
+            return kExitOk;
         } else if (!arg.empty() && arg[0] != '-' && input_path.empty()) {
             input_path = arg;
         } else {
             std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
             printUsage();
-            return 2;
+            return kExitUsage;
         }
     }
+
+    if (serve || listen) {
+        // Serve mode owns stdin/stdout (or the socket); every one-shot
+        // flag besides --threads/--max-queue is a usage error, not a
+        // silent no-op.
+        if (!input_path.empty() || !output_path.empty() ||
+            !observables_arg.empty() || !noise_arg.empty() ||
+            !hamiltonian_path.empty() || qaoa || verify || !local_opt) {
+            std::fprintf(stderr,
+                         "--serve/--listen take jobs as JSONL; per-job "
+                         "options belong in the job lines "
+                         "(docs/SERVICE.md)\n");
+            return kExitUsage;
+        }
+        service::ServeOptions serve_options;
+        serve_options.workers = threads;
+        serve_options.maxQueue = max_queue;
+        if (listen)
+            return service::serveTcp(listen_port, serve_options);
+        const uint64_t jobs =
+            service::serveStream(std::cin, std::cout, serve_options);
+        std::fprintf(stderr, "quclear_cli: served %llu job(s)\n",
+                     static_cast<unsigned long long>(jobs));
+        return kExitOk;
+    }
+
     if (input_path.empty()) {
         printUsage();
-        return 2;
+        return kExitUsage;
     }
 
     std::ifstream in(input_path);
     if (!in) {
         std::fprintf(stderr, "cannot open %s\n", input_path.c_str());
-        return 1;
+        return kExitRuntime;
     }
     std::stringstream buffer;
     buffer << in.rdbuf();
@@ -147,7 +232,7 @@ main(int argc, char **argv)
         circuit = fromQasm(buffer.str());
     } catch (const std::exception &e) {
         std::fprintf(stderr, "%s\n", e.what());
-        return 1;
+        return kExitRuntime;
     }
 
     QuClearOptions options;
@@ -191,7 +276,7 @@ main(int argc, char **argv)
         const auto verdict = checkEquivalence(circuit, recombined);
         std::printf("verify  : %s\n", verdictName(verdict).c_str());
         if (verdict == EquivalenceVerdict::NotEquivalent)
-            return 1;
+            return kExitRuntime;
     }
 
     if (!observables_arg.empty()) {
@@ -201,7 +286,7 @@ main(int argc, char **argv)
                 observables.push_back(PauliString::fromLabel(label));
         } catch (const std::exception &e) {
             std::fprintf(stderr, "%s\n", e.what());
-            return 1;
+            return kExitRuntime;
         }
         const auto absorbed =
             compiler.absorbObservables(program, observables);
@@ -232,7 +317,7 @@ main(int argc, char **argv)
         if (!hin) {
             std::fprintf(stderr, "cannot open %s\n",
                          hamiltonian_path.c_str());
-            return 1;
+            return kExitRuntime;
         }
         std::stringstream hbuf;
         hbuf << hin.rdbuf();
@@ -241,14 +326,14 @@ main(int argc, char **argv)
             hamiltonian = Hamiltonian::fromText(hbuf.str());
         } catch (const std::exception &e) {
             std::fprintf(stderr, "%s\n", e.what());
-            return 1;
+            return kExitRuntime;
         }
         if (hamiltonian.numQubits() != circuit.numQubits()) {
             std::fprintf(stderr,
                          "Hamiltonian qubit count (%u) does not match "
                          "the circuit (%u)\n",
                          hamiltonian.numQubits(), circuit.numQubits());
-            return 1;
+            return kExitRuntime;
         }
         const auto plan = planMeasurements(program.extraction,
                                            hamiltonian.observables());
@@ -295,5 +380,5 @@ main(int argc, char **argv)
         out << toQasm(program.circuit());
         std::printf("wrote   : %s\n", output_path.c_str());
     }
-    return 0;
+    return kExitOk;
 }
