@@ -97,7 +97,7 @@ main()
         const Benchmark b = makeBenchmark(name);
         JsonValue &row = report.addRow(name, &b);
         for (size_t s = 0; s < strategy_list.size(); ++s) {
-            QuClearOptions options;
+            QuClearOptions options = envCompilerOptions();
             options.extraction.tree = strategy_list[s].tree;
             Timer timer;
             const auto program = QuClear(options).compile(b.terms);

@@ -86,6 +86,47 @@ selectedBenchmarks()
     return fastBenchmarkNames();
 }
 
+namespace {
+
+/** Parse a non-negative integer env knob; @p fallback on any junk. */
+uint32_t
+envUint(const char *name, uint32_t fallback)
+{
+    const char *env = getEnv(name);
+    if (!env || *env == '\0')
+        return fallback;
+    char *end = nullptr;
+    const unsigned long value = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0' || value > 1024) {
+        std::fprintf(stderr, "warning: ignoring %s='%s'\n", name, env);
+        return fallback;
+    }
+    return static_cast<uint32_t>(value);
+}
+
+} // namespace
+
+uint32_t
+envThreads()
+{
+    return envUint("QUCLEAR_THREADS", 0);
+}
+
+uint32_t
+envBlockParallelism()
+{
+    return envUint("QUCLEAR_BLOCK_PARALLELISM", 0);
+}
+
+QuClearOptions
+envCompilerOptions()
+{
+    QuClearOptions options;
+    options.extraction.threads = envThreads();
+    options.extraction.blockParallelism = envBlockParallelism();
+    return options;
+}
+
 void
 writeCsvIfRequested(const std::string &name, const TablePrinter &table)
 {
@@ -154,6 +195,11 @@ BenchReport::BenchReport(const std::string &harness,
     doc_["git_sha"] = gitSha();
     doc_["scale"] = scaleName(selectedScale());
     doc_["config"] = JsonValue::object();
+    // Effective threading knobs for this run (tools/reproduce
+    // --threads): output-invariant, but they explain the `seconds`
+    // columns when comparing artifacts across machines.
+    doc_["config"]["threads"] = envThreads();
+    doc_["config"]["block_parallelism"] = envBlockParallelism();
     doc_["rows"] = JsonValue::array();
     doc_["summary"] = JsonValue::object();
 }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "benchgen/suite.hpp"
+#include "core/quclear.hpp"
 #include "util/json_writer.hpp"
 #include "util/table_printer.hpp"
 
@@ -52,6 +53,32 @@ bool fullSuiteRequested();
 
 /** Benchmark names to run at the selected scale. */
 std::vector<std::string> selectedBenchmarks();
+
+/**
+ * Compile-path worker threads from $QUCLEAR_THREADS (WorkerPool
+ * semantics: 0 = hardware concurrency, 1 = sequential). Unset or
+ * unparsable means 0. Thread count never changes compiled output, so
+ * the knob only moves the `seconds` columns; `tools/reproduce
+ * --threads` sets this for the whole harness run, and every
+ * BenchReport records the effective value in its config group.
+ */
+uint32_t envThreads();
+
+/**
+ * Cross-block chain runners from $QUCLEAR_BLOCK_PARALLELISM
+ * (ExtractionConfig::blockParallelism semantics: 0 = auto,
+ * 1 = sequential chains). Unset or unparsable means 0. Like
+ * envThreads(), output-invariant and recorded by every BenchReport.
+ */
+uint32_t envBlockParallelism();
+
+/**
+ * Default-configured QuClearOptions with the environment's threading
+ * knobs (envThreads / envBlockParallelism) applied — what every
+ * harness should hand to QuClear so a `tools/reproduce --threads N`
+ * run actually compiles with N threads.
+ */
+QuClearOptions envCompilerOptions();
 
 /**
  * Write a table as CSV into $QUCLEAR_CSV_DIR/<name>.csv when that

@@ -67,7 +67,7 @@ main()
             continue;
 
         Timer quclear_timer;
-        const QuClear compiler;
+        const QuClear compiler(envCompilerOptions());
         auto program = compiler.compile(b.terms);
         const QuantumCircuit quclear_circuit =
             b.isQaoa() ? compiler.absorbProbabilities(program)

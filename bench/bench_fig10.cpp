@@ -31,7 +31,7 @@ size_t
 extractionCount(const std::vector<PauliTerm> &terms, bool commuting,
                 bool absorbed, bool local_opt)
 {
-    ExtractionConfig config;
+    ExtractionConfig config = bench::envCompilerOptions().extraction;
     config.useCommutingBlocks = commuting;
     const ExtractionResult result = CliffordExtractor(config).run(terms);
     QuantumCircuit device = result.optimized;

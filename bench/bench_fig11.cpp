@@ -92,7 +92,7 @@ main()
         std::vector<CompiledEntry> compiled;
         {
             Timer t;
-            const QuClear compiler;
+            const QuClear compiler(envCompilerOptions());
             auto program = compiler.compile(b.terms);
             QuantumCircuit circuit =
                 b.isQaoa()

@@ -38,7 +38,7 @@ main()
         if (!b.isQaoa())
             continue;
 
-        QuClearOptions no_opt;
+        QuClearOptions no_opt = envCompilerOptions();
         no_opt.applyLocalOptimization = false;
         Timer t1;
         const auto raw = QuClear(no_opt).compile(b.terms);
@@ -46,7 +46,7 @@ main()
         const size_t cx_raw = raw.circuit().twoQubitCount(true);
 
         Timer t2;
-        const auto opt = QuClear().compile(b.terms);
+        const auto opt = QuClear(envCompilerOptions()).compile(b.terms);
         const double time_opt = t2.seconds();
         const size_t cx_opt = opt.circuit().twoQubitCount(true);
 

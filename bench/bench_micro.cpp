@@ -18,6 +18,7 @@
  */
 #include <benchmark/benchmark.h>
 
+#include "benchgen/suite.hpp"
 #include "core/absorption_post.hpp"
 #include "core/absorption_pre.hpp"
 #include "core/clifford_extractor.hpp"
@@ -316,6 +317,43 @@ BM_CliffordExtractionThreaded(benchmark::State &state)
 BENCHMARK(BM_CliffordExtractionThreaded)
     ->Args({ 64, 256 })
     ->Args({ 128, 256 });
+
+/**
+ * End-to-end extraction on the paper-scale fragmented ensemble
+ * UCC-(6,12)x8 (96 qubits, 8 independent 12-qubit chains), sweeping
+ * {threads, block_parallelism}. The /T/B suffixes are the two knobs:
+ * /1/1 is the fully sequential baseline, /8/1 is in-block parallelism
+ * only, /8/0 adds cross-block chain parallelism (the tentpole's
+ * acceptance bar: >= 2x end-to-end over /8/1 at 8 threads). Output is
+ * bit-identical across every arg pair; only wall time moves.
+ */
+void
+BM_CrossBlockExtraction(benchmark::State &state)
+{
+    const auto threads = static_cast<uint32_t>(state.range(0));
+    const auto block_parallelism = static_cast<uint32_t>(state.range(1));
+    static const Benchmark &bench = *[] {
+        static Benchmark b = makeBenchmark("UCC-(6,12)x8");
+        return &b;
+    }();
+    ExtractionConfig config;
+    config.threads = threads;
+    config.blockParallelism = block_parallelism;
+    const CliffordExtractor extractor(config);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(extractor.run(bench.terms));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(bench.terms.size()));
+}
+BENCHMARK(BM_CrossBlockExtraction)
+    ->Args({ 1, 1 })
+    ->Args({ 4, 1 })
+    ->Args({ 4, 0 })
+    ->Args({ 8, 1 })
+    ->Args({ 8, 2 })
+    ->Args({ 8, 0 })
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 /**
  * One commuting block at scale: the conjugation-cache + index-list

@@ -74,7 +74,7 @@ main()
         const PaperRow paper = paperRow(name);
 
         const Row quclear = measure([&] {
-            const QuClear compiler;
+            const QuClear compiler(envCompilerOptions());
             auto program = compiler.compile(b.terms);
             if (b.isQaoa())
                 return compiler.absorbProbabilities(program)

@@ -35,7 +35,8 @@ main()
     const Benchmark ucc = makeBenchmark(
         fullSuiteRequested() ? "UCC-(10,20)"
                              : (smoke ? "UCC-(2,6)" : "UCC-(6,12)"));
-    const ExtractionResult ucc_ext = CliffordExtractor().run(ucc.terms);
+    const ExtractionResult ucc_ext =
+        CliffordExtractor(envCompilerOptions().extraction).run(ucc.terms);
     const uint32_t n = ucc.numQubits;
 
     Rng rng(0xAB5);
@@ -74,7 +75,8 @@ main()
         makeBenchmark(smoke ? "MaxCut-(n10,e12)" : "MaxCut-(n20,r12)");
     report.config()["state_benchmark"] = maxcut.name;
     const ExtractionResult mc_ext =
-        CliffordExtractor().run(maxcut.terms);
+        CliffordExtractor(envCompilerOptions().extraction)
+            .run(maxcut.terms);
     const auto pa = absorbProbabilities(mc_ext);
 
     for (size_t k : sizes) {

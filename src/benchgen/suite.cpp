@@ -1,6 +1,7 @@
 #include "benchgen/suite.hpp"
 
 #include <cstdint>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -30,6 +31,60 @@ make(const std::string &name, BenchmarkKind kind,
     return b;
 }
 
+/**
+ * Tile @p fragments copies of @p base onto disjoint qubit registers of
+ * @p qubits_per each (fragment f lands on qubits [f*qubits_per,
+ * (f+1)*qubits_per)), fragment-major so each copy keeps its internal
+ * term order. Models an ensemble workload — k independent problem
+ * instances compiled as one program — and is the suite's multi-chain
+ * stressor for the extractor's cross-block chain parallelism: the
+ * fragments are exactly the chains of partitionChains().
+ */
+std::vector<PauliTerm>
+tileFragments(const std::vector<PauliTerm> &base, uint32_t qubits_per,
+              uint32_t fragments)
+{
+    std::vector<PauliTerm> out;
+    out.reserve(base.size() * fragments);
+    const uint32_t total = qubits_per * fragments;
+    for (uint32_t f = 0; f < fragments; ++f) {
+        const uint32_t offset = f * qubits_per;
+        for (const PauliTerm &t : base) {
+            PauliString shifted(total);
+            t.pauli.forEachSupport([&](uint32_t q, PauliOp op) {
+                shifted.setOp(q + offset, op);
+            });
+            shifted.setPhase(t.pauli.phase());
+            out.emplace_back(std::move(shifted), t.angle);
+        }
+    }
+    return out;
+}
+
+/**
+ * Parse a fragmented-UCC name "UCC-(e,o)xk", e.g. "UCC-(6,12)x8":
+ * k disjoint copies of the UCC-(e,o) ansatz. Returns false when
+ * @p name is not of that shape; throws on out-of-range parameters.
+ */
+bool
+parseFragmentedUcc(const std::string &name, uint32_t &electrons,
+                   uint32_t &orbitals, uint32_t &fragments)
+{
+    unsigned e = 0, o = 0, k = 0;
+    int consumed = 0;
+    if (std::sscanf(name.c_str(), "UCC-(%u,%u)x%u%n", &e, &o, &k,
+                    &consumed) != 3 ||
+        static_cast<size_t>(consumed) != name.size())
+        return false;
+    if (e == 0 || o < 2 * e || o > 64 || k == 0 || k > 64)
+        throw std::invalid_argument("fragmented UCC out of range: " +
+                                    name);
+    electrons = e;
+    orbitals = o;
+    fragments = k;
+    return true;
+}
+
 } // namespace
 
 Benchmark
@@ -50,6 +105,17 @@ makeBenchmark(const std::string &name)
         return make(name, BenchmarkKind::Uccsd, uccsdAnsatz(10, 20));
     if (name == "UCC-(12,24)")
         return make(name, BenchmarkKind::Uccsd, uccsdAnsatz(12, 24));
+
+    // Fragmented UCCSD ensembles: "UCC-(e,o)xk" is k copies of
+    // UCC-(e,o) on disjoint o-qubit registers — the multi-chain
+    // workload for cross-block parallel extraction.
+    {
+        uint32_t electrons = 0, orbitals = 0, fragments = 0;
+        if (parseFragmentedUcc(name, electrons, orbitals, fragments))
+            return make(name, BenchmarkKind::Uccsd,
+                        tileFragments(uccsdAnsatz(electrons, orbitals),
+                                      orbitals, fragments));
+    }
 
     // Hamiltonian simulation molecules.
     if (name == "LiH")
@@ -156,7 +222,7 @@ paperScaleBenchmarkNames()
 {
     return {
         "UCC-(12,24)",  "naphthalene",    "LABS-(n25)",
-        "LABS-(n30)",   "MaxCut-(n30,r4)",
+        "LABS-(n30)",   "MaxCut-(n30,r4)", "UCC-(6,12)x8",
     };
 }
 

@@ -43,8 +43,12 @@ struct Benchmark
 
 /**
  * Build one benchmark by its Table II name, e.g. "UCC-(4,8)", "LiH",
- * "LABS-(n15)", "MaxCut-(n20,r8)", "MaxCut-(n15,e63)", or one of the
- * extended paper-scale names (paperScaleBenchmarkNames()).
+ * "LABS-(n15)", "MaxCut-(n20,r8)", "MaxCut-(n15,e63)", one of the
+ * extended paper-scale names (paperScaleBenchmarkNames()), or a
+ * fragmented-UCC ensemble "UCC-(e,o)xk" — k copies of UCC-(e,o) on
+ * disjoint o-qubit registers (the multi-chain stressor for the
+ * extractor's cross-block chain parallelism; e.g. "UCC-(6,12)x8" is
+ * 96 qubits). All generators are seeded and deterministic.
  * @throws std::invalid_argument for unknown names
  */
 Benchmark makeBenchmark(const std::string &name);
@@ -69,10 +73,11 @@ std::vector<std::string> smokeBenchmarkNames();
 /**
  * Extended instances beyond Table II, one size step past the paper for
  * each workload family: UCC-(12,24) (24 qubits, 35136 terms),
- * naphthalene (18-qubit molecule), LABS-(n25)/(n30), and
- * MaxCut-(n30,r4). All generators are seeded and deterministic; they
- * are additional names, not replacements, so paperRow() has no
- * reference values for them.
+ * naphthalene (18-qubit molecule), LABS-(n25)/(n30), MaxCut-(n30,r4),
+ * and the fragmented ensemble UCC-(6,12)x8 (96 qubits, 8 independent
+ * chains). All generators are seeded and deterministic; they are
+ * additional names, not replacements, so paperRow() has no reference
+ * values for them.
  */
 std::vector<std::string> paperScaleBenchmarkNames();
 

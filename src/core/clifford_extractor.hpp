@@ -8,6 +8,20 @@
  * CNOT tree, and Rz in U'; the mirrored uncomputation half is commuted
  * through all later rotations (transforming their Pauli strings) and
  * accumulates at the end of the circuit.
+ *
+ * Cross-block chain parallelism: the term sequence is partitioned into
+ * CHAINS — connected components of the qubit-support graph, where each
+ * term connects the qubits it touches. A commuting block that bridges
+ * two components (disjoint-support terms always commute) is sliced
+ * into per-component sub-blocks. Every gate a term's extraction emits
+ * acts only inside its component, so chains touch disjoint qubit sets,
+ * their reduction Cliffords commute, and each chain compiles against
+ * its own fresh tableau fork. The forks are merged with composeWith
+ * and the sub-block circuit segments are stitched back along a fixed
+ * input-derived emission order, so the output is bit-identical for
+ * every thread count and chain-runner count (the tableau storage is
+ * canonical — equal unitaries have equal bits). A connected instance
+ * is one chain and takes the exact pre-existing code path.
  */
 #ifndef QUCLEAR_CORE_CLIFFORD_EXTRACTOR_HPP
 #define QUCLEAR_CORE_CLIFFORD_EXTRACTOR_HPP
@@ -58,6 +72,22 @@ struct ExtractionConfig
      * test_scale_extraction).
      */
     uint32_t threads = 0;
+
+    /**
+     * Maximum number of independent block chains compiled concurrently
+     * (the coarse, cross-block level of parallelism; `threads` feeds
+     * the fine, in-block level). 0 = auto (every chain in flight at
+     * once, bounded by the pool), 1 = chains compiled sequentially,
+     * N = at most N chain runners. Chains are connected components of
+     * the qubit-support graph, so their extractions are independent by
+     * construction; the merge is structurally identical in every mode,
+     * and the output — circuit, tail, conjugator, rotation order — is
+     * bit-identical for every value of this knob and every thread
+     * count (asserted by test_conjugate_batch under TSan). Lookahead
+     * never crosses a chain boundary, in any mode, so the knob only
+     * changes scheduling, never scoring.
+     */
+    uint32_t blockParallelism = 0;
 };
 
 /** Output of Clifford Extraction. */

@@ -1,10 +1,12 @@
 #include "service/job_runner.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "benchgen/suite.hpp"
 #include "circuit/circuit_stats.hpp"
@@ -13,6 +15,7 @@
 #include "sim/noise_model.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
+#include "util/worker_pool.hpp"
 
 namespace quclear::service {
 
@@ -69,12 +72,14 @@ loadCircuit(const JobRequest &request)
 }
 
 QuClearOptions
-optionsFor(const JobRequest &request)
+optionsFor(const JobRequest &request, uint32_t scheduler_workers)
 {
     QuClearOptions options;
     options.applyLocalOptimization = request.localOpt;
     options.optimizeDepth = request.optimizeDepth;
-    options.extraction.threads = request.threads;
+    options.extraction.threads =
+        clampJobThreads(request.threads, scheduler_workers);
+    options.extraction.blockParallelism = request.blockParallelism;
     options.extraction.useCommutingBlocks = request.commutingBlocks;
     return options;
 }
@@ -141,7 +146,8 @@ writeNoiseGroup(JsonValue &results, const JobRequest &request,
 }
 
 std::string
-runJobLineOrThrow(const JobRequest &request, uint64_t seq)
+runJobLineOrThrow(const JobRequest &request, uint64_t seq,
+                  uint32_t scheduler_workers)
 {
     QuantumCircuit circuit;
     Benchmark benchmark;
@@ -155,7 +161,7 @@ runJobLineOrThrow(const JobRequest &request, uint64_t seq)
         circuit = loadCircuit(request);
     }
 
-    const QuClear compiler(optionsFor(request));
+    const QuClear compiler(optionsFor(request, scheduler_workers));
     Timer timer;
     const CompiledProgram program =
         request.source == JobSource::Benchmark
@@ -193,11 +199,26 @@ runJobLineOrThrow(const JobRequest &request, uint64_t seq)
 
 } // namespace
 
+uint32_t
+clampJobThreads(uint32_t requested, uint32_t scheduler_workers)
+{
+    const uint32_t resolved = WorkerPool::resolveThreadCount(requested);
+    if (scheduler_workers <= 1)
+        return resolved;
+    const unsigned hw = std::thread::hardware_concurrency();
+    const auto capacity = static_cast<uint64_t>(hw != 0 ? hw : 1);
+    if (static_cast<uint64_t>(resolved) * scheduler_workers <= capacity)
+        return resolved; // fits: no clamp
+    return static_cast<uint32_t>(
+        std::max<uint64_t>(1, capacity / scheduler_workers));
+}
+
 std::string
-runJobLine(const JobRequest &request, uint64_t seq)
+runJobLine(const JobRequest &request, uint64_t seq,
+           uint32_t scheduler_workers)
 {
     try {
-        return runJobLineOrThrow(request, seq);
+        return runJobLineOrThrow(request, seq, scheduler_workers);
     } catch (const JobError &e) {
         return errorResultLine(seq, request.id, e.code, e.what());
     } catch (const std::exception &e) {

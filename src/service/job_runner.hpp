@@ -21,11 +21,27 @@
 namespace quclear::service {
 
 /**
+ * Oversubscription guard (docs/SERVICE.md "Sizing"): the effective
+ * per-job thread count when @p scheduler_workers jobs may compile at
+ * once. The requested count resolves through WorkerPool semantics
+ * (0 = hardware concurrency) and is clamped to
+ * max(1, hardware_concurrency / scheduler_workers) only when
+ * resolved x workers would exceed the machine — so a lone big job
+ * still gets every core, and a saturated scheduler never stacks more
+ * threads than cores. Safe to apply silently: thread count never
+ * changes a result line, only wall time.
+ */
+uint32_t clampJobThreads(uint32_t requested, uint32_t scheduler_workers);
+
+/**
  * Run @p request to completion and return its result line (success or
  * in-band error; no trailing newline). Never throws — every failure
  * maps to a documented error code, with `internal` as the final guard.
+ * @param scheduler_workers concurrent jobs the caller may run (resolved,
+ *        not the raw knob); feeds clampJobThreads. 1 = no clamp.
  */
-std::string runJobLine(const JobRequest &request, uint64_t seq);
+std::string runJobLine(const JobRequest &request, uint64_t seq,
+                       uint32_t scheduler_workers = 1);
 
 } // namespace quclear::service
 

@@ -229,10 +229,14 @@ parseJobLine(const std::string &line, uint64_t seq)
             if (!config->isObject())
                 reject("'config' must be an object");
             requireKnownKeys(*config, "config",
-                             {"threads", "local_opt", "commuting_blocks",
-                              "optimize_depth", "timeout_ms", "noise"});
+                             {"threads", "block_parallelism", "local_opt",
+                              "commuting_blocks", "optimize_depth",
+                              "timeout_ms", "noise"});
             request.threads = static_cast<uint32_t>(
                 parseUintField(*config, "threads", 1, kMaxThreads));
+            request.blockParallelism = static_cast<uint32_t>(
+                parseUintField(*config, "block_parallelism", 0,
+                               kMaxThreads));
             request.localOpt =
                 parseBoolField(*config, "local_opt", true);
             request.commutingBlocks =
@@ -282,7 +286,12 @@ successResultShell(uint64_t seq, const JobRequest &request)
     doc["seq"] = seq;
     doc["status"] = "ok";
     JsonValue &config = doc["config"];
+    // Echoed knobs are the REQUESTED values: the runner may clamp the
+    // effective thread count against scheduler oversubscription, but
+    // the clamp never changes results, and echoing it would make the
+    // line depend on the server's --threads flag.
     config["threads"] = request.threads;
+    config["block_parallelism"] = request.blockParallelism;
     config["local_opt"] = request.localOpt;
     config["commuting_blocks"] = request.commutingBlocks;
     config["optimize_depth"] = request.optimizeDepth;

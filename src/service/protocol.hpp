@@ -115,8 +115,21 @@ struct JobRequest
     /** QASM text, file path, or benchmark name, per `source`. */
     std::string payload;
 
-    /** ExtractionConfig::threads for this job's compile. */
+    /**
+     * ExtractionConfig::threads for this job's compile. The value here
+     * is the client's request; the runner clamps the effective count
+     * when requested threads x scheduler workers would oversubscribe
+     * the machine (docs/SERVICE.md "Sizing"). The clamp is invisible
+     * on the wire — thread count never changes a result line.
+     */
     uint32_t threads = 1;
+
+    /**
+     * ExtractionConfig::blockParallelism: cross-block chain runners
+     * inside this job's compile (0 = auto, 1 = sequential chains).
+     * Like `threads`, never changes the result line.
+     */
+    uint32_t blockParallelism = 0;
 
     /** QuClearOptions::applyLocalOptimization. */
     bool localOpt = true;

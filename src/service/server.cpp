@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "service/job_runner.hpp"
+#include "util/worker_pool.hpp"
 
 #ifndef _WIN32
 #include <arpa/inet.h>
@@ -44,9 +45,15 @@ uint64_t
 serveStream(std::istream &in, std::ostream &out,
             const ServeOptions &options)
 {
+    // Resolve the scheduler concurrency once and hand it to every job:
+    // the runner clamps per-job threads so requested threads x workers
+    // never oversubscribes the machine (docs/SERVICE.md "Sizing").
+    const uint32_t workers =
+        WorkerPool::resolveThreadCount(options.workers);
     JobScheduler scheduler(options.workers, options.maxQueue,
-                           [](const JobRequest &request, uint64_t seq) {
-                               return runJobLine(request, seq);
+                           [workers](const JobRequest &request,
+                                     uint64_t seq) {
+                               return runJobLine(request, seq, workers);
                            },
                            out);
     uint64_t seq = 0;

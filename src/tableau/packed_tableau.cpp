@@ -650,6 +650,18 @@ void
 PackedTableau::composeWith(const PackedTableau &other)
 {
     assert(other.numQubits_ == numQubits_);
+    // Fast paths for the chain-merge pattern: composing with the
+    // identity is a no-op in either direction, and composing the
+    // identity with `other` is a plain copy. The tableau of a unitary
+    // is canonical (rows are the generator images, signs exact), so
+    // any route to the same unitary yields bit-identical storage —
+    // the fast path cannot diverge from the generic one.
+    if (other.isIdentity())
+        return;
+    if (isIdentity()) {
+        *this = other;
+        return;
+    }
     // (other . U) P (other . U)~ = other(U(P)): conjugate all 2n rows
     // through `other` as one batch so its transpose is built once.
     std::vector<PauliString> rows;
@@ -670,8 +682,27 @@ PackedTableau::inverse() const
 bool
 PackedTableau::isIdentity() const
 {
-    PackedTableau id(numQubits_);
-    return *this == id;
+    // Allocation-free scan (the old identity-tableau comparison built
+    // three full-size vectors per call): identity means all signs +,
+    // and column c holds exactly the diagonal bits — row 2c in x and
+    // row 2c+1 in z, which always share one word since 2c is even.
+    for (const uint64_t w : signs_)
+        if (w != 0)
+            return false;
+    for (uint32_t c = 0; c < numQubits_; ++c) {
+        const uint64_t *xc = &x_[static_cast<size_t>(c) * words_];
+        const uint64_t *zc = &z_[static_cast<size_t>(c) * words_];
+        const uint32_t diag_word = (2 * c) >> 6;
+        for (uint32_t w = 0; w < words_; ++w) {
+            const uint64_t want_x =
+                w == diag_word ? 1ULL << ((2 * c) & 63) : 0;
+            const uint64_t want_z =
+                w == diag_word ? 1ULL << ((2 * c + 1) & 63) : 0;
+            if (xc[w] != want_x || zc[w] != want_z)
+                return false;
+        }
+    }
+    return true;
 }
 
 bool

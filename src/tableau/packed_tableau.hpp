@@ -114,10 +114,21 @@ class PackedTableau
     void conjugateBatch(std::span<PauliString> terms,
                         WorkerPool *pool = nullptr) const;
 
-    /** True iff this tableau is the identity map (all signs +). */
+    /**
+     * True iff this tableau is the identity map (all signs +).
+     * Allocation-free word scan, cheap enough to gate fast paths.
+     */
     bool isIdentity() const;
 
-    /** Compose: first this map, then @p other (U <- other.U). */
+    /**
+     * Compose: first this map, then @p other (U <- other.U).
+     * Identity operands short-circuit (no-op / plain copy), so merging
+     * a run of mostly-identity chain forks costs only the word scan.
+     * Forking a snapshot is the ordinary copy constructor: the storage
+     * is three flat vectors, so a fork is one memcpy-shaped allocation
+     * per bit plane — the cross-block extractor forks a fresh identity
+     * tableau per chain and merges the results through this method.
+     */
     void composeWith(const PackedTableau &other);
 
     /** The inverse tableau (U~), via synthesis + inverted replay. */

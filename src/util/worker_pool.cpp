@@ -2,6 +2,20 @@
 
 namespace quclear {
 
+namespace {
+
+/**
+ * The pool whose workerMain is running on this thread, if any. Lets
+ * parallelFor/submit detect same-pool re-entry (a chain task calling
+ * the data-parallel kernels) and degrade to inline execution instead
+ * of deadlocking on a fully occupied pool. Distinct pools stay
+ * composable: a task running on pool A that owns a private pool B
+ * still dispatches to B normally (the serve-mode layering).
+ */
+thread_local const WorkerPool *tls_running_pool = nullptr;
+
+} // namespace
+
 uint32_t
 WorkerPool::resolveThreadCount(uint32_t requested)
 {
@@ -56,6 +70,13 @@ WorkerPool::parallelFor(size_t count,
 {
     if (count == 0)
         return;
+    if (tls_running_pool == this) {
+        // Nested call from one of this pool's own workers: every other
+        // worker may be busy with a sibling task, so dispatching could
+        // wait forever. Inline execution is always result-identical.
+        chunk(0, count);
+        return;
+    }
     if (threadCount_ > 1)
         ensureWorkers(); // may shrink threadCount_ on spawn failure
     if (threadCount_ <= 1 || count == 1) {
@@ -101,6 +122,19 @@ WorkerPool::parallelFor(size_t count,
 void
 WorkerPool::submit(std::function<void()> task)
 {
+    if (tls_running_pool == this) {
+        // Nested submit from one of this pool's own workers: run
+        // inline (see parallelFor). Error parking needs the lock here
+        // because other workers may park concurrently.
+        try {
+            task();
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (!taskError_)
+                taskError_ = std::current_exception();
+        }
+        return;
+    }
     if (threadCount_ > 1)
         ensureWorkers(); // may shrink threadCount_ on spawn failure
     if (threadCount_ <= 1) {
@@ -139,6 +173,8 @@ WorkerPool::drainTasks()
 void
 WorkerPool::workerMain(uint32_t id)
 {
+    tls_running_pool = this; // workers never outlive the pool (joined
+                             // in the destructor), so no reset needed
     uint64_t seen = 0;
     for (;;) {
         const std::function<void(size_t, size_t)> *job = nullptr;

@@ -8,11 +8,20 @@
  * bit-identical for every thread count. The pool therefore offers just
  * two primitives — a blocking parallelFor over a contiguous index range
  * with static chunking, and an asynchronous submit/drainTasks task
- * queue for the service scheduler's job-level concurrency — and
- * resolves a `threads` knob where 0 means hardware concurrency and 1
- * means fully inline execution (no worker threads are spawned at all,
- * so the sequential path stays the exact code path of a
- * single-threaded build).
+ * queue for the service scheduler's job-level concurrency and the
+ * extractor's cross-block chain tasks — and resolves a `threads` knob
+ * where 0 means hardware concurrency and 1 means fully inline
+ * execution (no worker threads are spawned at all, so the sequential
+ * path stays the exact code path of a single-threaded build).
+ *
+ * Nested-submission safety: a task running on a pool worker may call
+ * parallelFor or submit on the same pool; both detect re-entry through
+ * a thread-local owner mark and execute inline on the calling worker
+ * instead of dispatching. Inline execution is always a legal
+ * substitution (results are thread-count invariant by contract), and
+ * it keeps a fully loaded pool from deadlocking on itself — the
+ * workers already embody the pool's concurrency budget, so nested work
+ * has no idle thread to win anyway.
  */
 #ifndef QUCLEAR_UTIL_WORKER_POOL_HPP
 #define QUCLEAR_UTIL_WORKER_POOL_HPP
@@ -62,8 +71,12 @@ class WorkerPool
      * independent (disjoint writes); under that contract the result is
      * identical for every thread count. If a chunk throws, the first
      * exception is rethrown here after every worker has drained (the
-     * job is never abandoned mid-flight). Not reentrant: do not call
-     * parallelFor from inside a chunk.
+     * job is never abandoned mid-flight). Nested-safe: called from a
+     * worker of this very pool (i.e. from inside a submitted task or a
+     * chunk), the whole range runs inline on that worker — results are
+     * unchanged, and the pool cannot deadlock on itself. Dispatching
+     * calls (from the owner thread) remain non-reentrant with each
+     * other.
      */
     void parallelFor(size_t count,
                      const std::function<void(size_t, size_t)> &chunk);
@@ -74,10 +87,11 @@ class WorkerPool
      * but concurrently with each other on a multi-thread pool; on a
      * single-thread pool (threadCount() == 1) the task runs inline
      * right here, so a `threads = 1` service configuration is exactly
-     * the sequential code path. Owner-thread only (the thread that
-     * constructed the pool), like parallelFor. An exception escaping a
-     * task is parked and rethrown from the next drainTasks() call.
-     * Tasks must not call parallelFor or submit on the same pool.
+     * the sequential code path. Enqueueing is owner-thread only (the
+     * thread that constructed the pool), like parallelFor dispatch.
+     * An exception escaping a task is parked and rethrown from the next
+     * drainTasks() call. Nested-safe: submit from a worker of this pool
+     * runs the task inline on that worker instead of enqueueing.
      */
     void submit(std::function<void()> task);
 

@@ -9,14 +9,17 @@
  * conjugate() and the row-major ReferenceTableau at qubit counts
  * straddling the 64-bit word boundaries, for every thread count. On
  * top of the kernel, the extractor's threaded paths (block-entry batch
- * conjugation, cache replay, lookahead updates, absorption) must
- * produce output bit-identical to the sequential threads = 1 path.
+ * conjugation, cache replay, lookahead updates, absorption) and the
+ * cross-block chain pipeline (fork-per-chain tableaus merged through
+ * composeWith) must produce output bit-identical to the sequential
+ * threads = 1, blockParallelism = 1 path for every knob combination.
  */
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <vector>
 
+#include "benchgen/suite.hpp"
 #include "core/absorption_pre.hpp"
 #include "core/clifford_extractor.hpp"
 #include "tableau/clifford_tableau.hpp"
@@ -179,6 +182,137 @@ TEST(ThreadedExtractionTest, OutputBitIdenticalToSequential)
             << "threads=" << threads;
         EXPECT_EQ(threaded.rotationTerms, sequential.rotationTerms)
             << "threads=" << threads;
+    }
+}
+
+/**
+ * @p fragments disjoint registers of @p qubits_per qubits, each holding
+ * an independent random support-term stream, interleaved round-robin.
+ * The interleaving makes the greedy commuting blocks bridge fragments,
+ * so the extractor must slice those blocks into per-chain sub-blocks —
+ * the hardest path of the cross-block partitioner.
+ */
+std::vector<PauliTerm>
+fragmentedTerms(uint32_t qubits_per, uint32_t fragments,
+                size_t per_fragment, double identity_bias, Rng &rng)
+{
+    std::vector<std::vector<PauliTerm>> columns;
+    for (uint32_t f = 0; f < fragments; ++f)
+        columns.push_back(
+            randomSupportTerms(qubits_per, per_fragment, identity_bias, rng));
+    const uint32_t total = qubits_per * fragments;
+    std::vector<PauliTerm> terms;
+    for (size_t i = 0; i < per_fragment; ++i) {
+        for (uint32_t f = 0; f < fragments; ++f) {
+            PauliString wide(total);
+            columns[f][i].pauli.forEachSupport(
+                [&](uint32_t q, PauliOp op) {
+                    wide.setOp(f * qubits_per + q, op);
+                });
+            terms.emplace_back(std::move(wide), columns[f][i].angle);
+        }
+    }
+    return terms;
+}
+
+/** Full-result bit-equality between two extraction runs. */
+void
+expectSameExtraction(const ExtractionResult &got,
+                     const ExtractionResult &want)
+{
+    expectSameCircuit(got.optimized, want.optimized);
+    expectSameCircuit(got.extractedClifford, want.extractedClifford);
+    EXPECT_EQ(got.conjugator, want.conjugator);
+    EXPECT_EQ(got.rotationTerms, want.rotationTerms);
+}
+
+/**
+ * The cross-block acceptance-criterion check: on a multi-chain
+ * instance, every (blockParallelism, threads) combination must emit
+ * output bit-identical to the sequential blockParallelism = 1,
+ * threads = 1 baseline — same optimized circuit, tail, conjugator, and
+ * rotation order. Run under TSan in CI, this also proves the forked
+ * tableau pipeline is race-free.
+ */
+TEST(BlockParallelExtractionTest, BitIdenticalAcrossKnobGrid)
+{
+    Rng rng(60102);
+    const auto terms = fragmentedTerms(8, 5, 24, 0.55, rng);
+
+    ExtractionConfig baseline_config;
+    baseline_config.threads = 1;
+    baseline_config.blockParallelism = 1;
+    baseline_config.tree.maxLookahead = 24;
+    const ExtractionResult baseline =
+        CliffordExtractor(baseline_config).run(terms);
+
+    for (uint32_t bp : { 1u, 2u, 0u }) {
+        for (uint32_t threads : { 1u, 4u }) {
+            ExtractionConfig config = baseline_config;
+            config.blockParallelism = bp;
+            config.threads = threads;
+            SCOPED_TRACE(::testing::Message()
+                         << "blockParallelism=" << bp
+                         << " threads=" << threads);
+            expectSameExtraction(CliffordExtractor(config).run(terms),
+                                 baseline);
+        }
+    }
+}
+
+/**
+ * Same grid on the seeded fragmented-UCC ensemble the bench suite uses,
+ * where fragments arrive fragment-major (chains visible up front)
+ * rather than interleaved.
+ */
+TEST(BlockParallelExtractionTest, FragmentedUccEnsembleBitIdentical)
+{
+    const Benchmark b = makeBenchmark("UCC-(2,4)x4");
+
+    ExtractionConfig baseline_config;
+    baseline_config.threads = 1;
+    baseline_config.blockParallelism = 1;
+    const ExtractionResult baseline =
+        CliffordExtractor(baseline_config).run(b.terms);
+
+    for (uint32_t bp : { 2u, 0u }) {
+        for (uint32_t threads : { 1u, 4u }) {
+            ExtractionConfig config = baseline_config;
+            config.blockParallelism = bp;
+            config.threads = threads;
+            SCOPED_TRACE(::testing::Message()
+                         << "blockParallelism=" << bp
+                         << " threads=" << threads);
+            expectSameExtraction(CliffordExtractor(config).run(b.terms),
+                                 baseline);
+        }
+    }
+}
+
+/**
+ * On a fully connected instance there is exactly one chain, so every
+ * blockParallelism value must collapse to the sequential path and
+ * reproduce the pre-chain-partitioning output unchanged.
+ */
+TEST(BlockParallelExtractionTest, SingleChainUnaffectedByKnob)
+{
+    Rng rng(424901);
+    const uint32_t n = 24;
+    const auto terms = randomSupportTerms(n, 40, 0.3, rng);
+
+    ExtractionConfig baseline_config;
+    baseline_config.threads = 1;
+    baseline_config.blockParallelism = 1;
+    const ExtractionResult baseline =
+        CliffordExtractor(baseline_config).run(terms);
+
+    for (uint32_t bp : { 0u, 2u, 8u }) {
+        ExtractionConfig config = baseline_config;
+        config.blockParallelism = bp;
+        config.threads = 4;
+        SCOPED_TRACE(::testing::Message() << "blockParallelism=" << bp);
+        expectSameExtraction(CliffordExtractor(config).run(terms),
+                             baseline);
     }
 }
 

@@ -14,6 +14,7 @@
  */
 #include <gtest/gtest.h>
 
+#include "benchgen/suite.hpp"
 #include "core/circuit_to_paulis.hpp"
 #include "core/clifford_extractor.hpp"
 #include "pauli/pauli_term.hpp"
@@ -160,6 +161,50 @@ TEST(ScaleExtractionTest, ThreadedPathBitIdenticalAt128Qubits)
     for (int trial = 0; trial < 8; ++trial) {
         const PauliString p = randomSupportPauli(n, rng, 0.7);
         EXPECT_EQ(threaded.conjugator.conjugate(tail_tab.conjugate(p)), p);
+    }
+}
+
+TEST(ScaleExtractionTest, ThreadedChainParallelBitIdenticalAt96Qubits)
+{
+    // The paper-scale cross-block stressor: 8 independent UCC-(6,12)
+    // fragments on disjoint registers (96 qubits). With
+    // blockParallelism = 0 the extractor forks one tableau per
+    // fragment and merges them through composeWith; the result must be
+    // bit-identical to the fully sequential pipeline, and the compiled
+    // program must still invert cleanly.
+    const Benchmark b = makeBenchmark("UCC-(6,12)x8");
+
+    ExtractionConfig baseline_config;
+    baseline_config.threads = 1;
+    baseline_config.blockParallelism = 1;
+    const ExtractionResult baseline =
+        CliffordExtractor(baseline_config).run(b.terms);
+
+    for (uint32_t bp : { 2u, 0u }) {
+        for (uint32_t threads : { 1u, 4u }) {
+            ExtractionConfig config = baseline_config;
+            config.blockParallelism = bp;
+            config.threads = threads;
+            SCOPED_TRACE(::testing::Message()
+                         << "blockParallelism=" << bp
+                         << " threads=" << threads);
+            const ExtractionResult parallel =
+                CliffordExtractor(config).run(b.terms);
+            expectSameCircuit(parallel.optimized, baseline.optimized);
+            expectSameCircuit(parallel.extractedClifford,
+                              baseline.extractedClifford);
+            EXPECT_EQ(parallel.conjugator, baseline.conjugator);
+            EXPECT_EQ(parallel.rotationTerms, baseline.rotationTerms);
+        }
+    }
+
+    Rng rng(96096);
+    const CliffordTableau tail_tab =
+        CliffordTableau::fromCircuit(baseline.extractedClifford);
+    for (int trial = 0; trial < 8; ++trial) {
+        const PauliString p =
+            randomSupportPauli(b.numQubits, rng, trial % 2 ? 0.5 : 0.9);
+        EXPECT_EQ(baseline.conjugator.conjugate(tail_tab.conjugate(p)), p);
     }
 }
 

@@ -9,6 +9,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <future>
@@ -203,6 +204,59 @@ TEST(JobParse, DefaultsMatchContract)
     EXPECT_TRUE(parsed.request.localOpt);
     EXPECT_EQ(parsed.request.timeoutMs, 0u);
     EXPECT_FALSE(parsed.request.noise.enabled);
+}
+
+TEST(JobParse, BlockParallelismConfigKey)
+{
+    const ParsedJob parsed = parseJobLine(
+        smokeJobLine("j9", R"({"threads":8,"block_parallelism":2})"), 1);
+    ASSERT_EQ(parsed.error, ServiceError::None);
+    EXPECT_EQ(parsed.request.threads, 8u);
+    EXPECT_EQ(parsed.request.blockParallelism, 2u);
+
+    const ParsedJob defaulted =
+        parseJobLine(R"json({"benchmark":"LABS-(n10)"})json", 2);
+    ASSERT_EQ(defaulted.error, ServiceError::None);
+    EXPECT_EQ(defaulted.request.blockParallelism, 0u);
+}
+
+TEST(JobRunner, ClampJobThreadsRespectsMachineCapacity)
+{
+    const uint32_t hw = WorkerPool::resolveThreadCount(0);
+    // A lone scheduler worker never clamps — one job owns the machine.
+    EXPECT_EQ(clampJobThreads(1, 1), 1u);
+    EXPECT_EQ(clampJobThreads(3, 1), 3u);
+    EXPECT_EQ(clampJobThreads(0, 1), hw);
+    // Oversubscribed: resolved * workers above capacity shrinks the
+    // per-job pool to capacity / workers, floored at one.
+    EXPECT_EQ(clampJobThreads(hw, 2), std::max(1u, hw / 2));
+    EXPECT_EQ(clampJobThreads(1024, 4), std::max(1u, hw / 4));
+    EXPECT_EQ(clampJobThreads(1, 1024), 1u);
+    // Requests that fit beside their sibling workers pass through.
+    if (hw >= 4) {
+        EXPECT_EQ(clampJobThreads(2, 2), 2u);
+    }
+}
+
+TEST(JobRunner, ThreadClampInvisibleOnTheWire)
+{
+    // The clamp changes only how a job is computed, never its result
+    // line: the same request must serialize identically whether the
+    // server runs one scheduler worker or enough to force the per-job
+    // thread pool down to one.
+    const ParsedJob parsed = parseJobLine(
+        smokeJobLine("clamp", R"({"threads":4,"block_parallelism":2})"),
+        1);
+    ASSERT_EQ(parsed.error, ServiceError::None);
+    JsonValue solo = parseResult(runJobLine(parsed.request, 1, 1));
+    JsonValue crowded = parseResult(runJobLine(parsed.request, 1, 64));
+    // Wall-clock is the one legitimately run-dependent field.
+    solo["results"]["quclear"]["seconds"] = 0.0;
+    crowded["results"]["quclear"]["seconds"] = 0.0;
+    EXPECT_EQ(crowded.dump(), solo.dump());
+    EXPECT_EQ(solo.find("config")->find("threads")->asUint(), 4u);
+    EXPECT_EQ(solo.find("config")->find("block_parallelism")->asUint(),
+              2u);
 }
 
 TEST(JobParse, ErrorCodeMapping)

@@ -78,6 +78,12 @@ printUsage()
         "                     concurrent jobs (0 = hardware concurrency,\n"
         "                     1 = sequential; compiled output is\n"
         "                     identical for every value)\n"
+        "  --block-parallelism N\n"
+        "                     one-shot: independent commuting-block\n"
+        "                     chains compiled concurrently (0 = auto,\n"
+        "                     1 = sequential chains; output identical\n"
+        "                     for every value; serve mode sets it per\n"
+        "                     job via config.block_parallelism)\n"
         "  --verify           prove equivalence (dense sim, <= 12 qubits)\n"
         "  --noise P1,P2      fidelity estimate with depolarizing rates\n"
         "  --hamiltonian FILE absorb a Pauli-sum Hamiltonian (text\n"
@@ -136,6 +142,8 @@ main(int argc, char **argv)
     bool serve = false, listen = false;
     uint16_t listen_port = 0;
     uint32_t threads = 0;
+    uint32_t block_parallelism = 0;
+    bool block_parallelism_set = false;
     size_t max_queue = 64;
 
     for (int i = 1; i < argc; ++i) {
@@ -147,6 +155,13 @@ main(int argc, char **argv)
             if (!parseCountFlag("--threads", argv[++i], 1024, parsed))
                 return kExitUsage;
             threads = static_cast<uint32_t>(parsed);
+        } else if (arg == "--block-parallelism" && i + 1 < argc) {
+            unsigned long parsed = 0;
+            if (!parseCountFlag("--block-parallelism", argv[++i], 1024,
+                                parsed))
+                return kExitUsage;
+            block_parallelism = static_cast<uint32_t>(parsed);
+            block_parallelism_set = true;
         } else if (arg == "--max-queue" && i + 1 < argc) {
             unsigned long parsed = 0;
             if (!parseCountFlag("--max-queue", argv[++i], 1'000'000,
@@ -195,7 +210,8 @@ main(int argc, char **argv)
         // silent no-op.
         if (!input_path.empty() || !output_path.empty() ||
             !observables_arg.empty() || !noise_arg.empty() ||
-            !hamiltonian_path.empty() || qaoa || verify || !local_opt) {
+            !hamiltonian_path.empty() || qaoa || verify || !local_opt ||
+            block_parallelism_set) {
             std::fprintf(stderr,
                          "--serve/--listen take jobs as JSONL; per-job "
                          "options belong in the job lines "
@@ -238,6 +254,7 @@ main(int argc, char **argv)
     QuClearOptions options;
     options.applyLocalOptimization = local_opt;
     options.extraction.threads = threads;
+    options.extraction.blockParallelism = block_parallelism;
     const QuClear compiler(options);
 
     Timer timer;
