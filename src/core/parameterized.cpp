@@ -31,12 +31,13 @@ ParameterizedProgram::ParameterizedProgram(
     const CliffordExtractor extractor(config);
     extraction_ = extractor.run(plain);
 
-    // Rz-preserving cleanup: everything except rotation fusion (which
-    // would merge rotations of different parameters).
+    // Rz-preserving cleanup: everything except rotation fusion and
+    // merging (which would combine rotations of different parameters).
     PassManager pm;
     pm.addPass(std::make_unique<CxCancellation>());
     pm.addPass(std::make_unique<HadamardRewrite>());
-    pm.addPass(std::make_unique<CommutativeCancellation>());
+    pm.addPass(
+        std::make_unique<CommutativeCancellation>(/*merge_rotations=*/false));
     pm.run(extraction_.optimized);
 
     // Map each surviving Rz (order-preserved by the passes above) to

@@ -21,6 +21,7 @@
 #ifndef QUCLEAR_CORE_QUCLEAR_HPP
 #define QUCLEAR_CORE_QUCLEAR_HPP
 
+#include <string>
 #include <vector>
 
 #include "core/absorption_post.hpp"
@@ -42,12 +43,31 @@ struct QuClearOptions
     ExtractionConfig extraction;
 
     /**
-     * Run the local-rewrite pipeline (the "Qiskit O3" proxy) on U'.
-     * Default: true (the paper's configuration; Fig. 9 measures the
-     * effect of turning it off). The pipeline is a fixed pass sequence
-     * with no randomness.
+     * Run the local-optimization layer on the extraction output: the
+     * local-rewrite pipeline (the "Qiskit O3" proxy) on U', the same
+     * Clifford-safe pipeline on the absorbed Clifford tail, and — when
+     * synthesisPortfolio is also set — the alternate-synthesis
+     * portfolio. Default: true (the paper's configuration; Fig. 9
+     * measures the effect of turning it off). Everything in the layer
+     * is a fixed, deterministic sequence with no randomness.
      */
     bool applyLocalOptimization = true;
+
+    /**
+     * Alternate-synthesis portfolio: additionally compile with a small
+     * fixed set of alternate tree-synthesis configurations (plain
+     * Algorithm 1, beam search, beam without commuting-block reorder)
+     * and keep the extraction with the fewest executed two-qubit gates
+     * (ties keep the earlier candidate, the configured default first).
+     * The extractor's lookahead heuristics are near-optimal but not
+     * uniformly so across instances — the portfolio recovers the
+     * instances where an alternate schedule wins (e.g. ~4% CNOTs on
+     * LABS-(n15)). Costs one extra extraction per candidate, so it is
+     * off by default and enabled where the compile-time trade is wanted
+     * (bench_fig9's with-optimization arm, the service "portfolio"
+     * knob). Only consulted when applyLocalOptimization is true.
+     */
+    bool synthesisPortfolio = false;
 
     /**
      * Re-schedule the optimized circuit for entangling depth
@@ -66,11 +86,47 @@ struct QuClearOptions
     size_t depthSchedulingGateLimit = 20000;
 };
 
+/**
+ * What the local-optimization layer did during one compile, so callers
+ * (bench_fig9, the service result schema) can report whether the passes
+ * ran and did work, not just the final gate counts. All zeros /
+ * "default" when applyLocalOptimization was off.
+ */
+struct LocalOptStats
+{
+    /** Effective sweep count from PassManager::run on U'. */
+    size_t passSweeps = 0;
+
+    /** Wall-clock seconds spent in the whole layer (portfolio included). */
+    double passSeconds = 0.0;
+
+    /** Executed 2q count before/after the layer (Swap counted as 3). */
+    size_t cxBefore = 0;
+    size_t cxAfter = 0;
+
+    /** Total gate count of U' before/after the layer. */
+    size_t gatesBefore = 0;
+    size_t gatesAfter = 0;
+
+    /** Synthesis candidates compiled (1 = no portfolio). */
+    size_t portfolioCandidates = 1;
+
+    /** Name of the winning synthesis candidate ("default" = configured). */
+    std::string portfolioWinner = "default";
+
+    /** Absorbed Clifford-tail gate count before/after its pipeline run. */
+    size_t tailGatesBefore = 0;
+    size_t tailGatesAfter = 0;
+};
+
 /** A compiled quantum-simulation program. */
 struct CompiledProgram
 {
     /** Extraction output: optimized circuit, Clifford tail, conjugator. */
     ExtractionResult extraction;
+
+    /** What the local-optimization layer did (see LocalOptStats). */
+    LocalOptStats localOpt;
 
     /** The circuit to execute on the device (optimized U'). */
     const QuantumCircuit &circuit() const { return extraction.optimized; }

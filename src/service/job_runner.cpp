@@ -77,6 +77,7 @@ optionsFor(const JobRequest &request, uint32_t scheduler_workers)
     QuClearOptions options;
     options.applyLocalOptimization = request.localOpt;
     options.optimizeDepth = request.optimizeDepth;
+    options.synthesisPortfolio = request.portfolio;
     options.extraction.threads =
         clampJobThreads(request.threads, scheduler_workers);
     options.extraction.blockParallelism = request.blockParallelism;

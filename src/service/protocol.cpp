@@ -231,7 +231,7 @@ parseJobLine(const std::string &line, uint64_t seq)
             requireKnownKeys(*config, "config",
                              {"threads", "block_parallelism", "local_opt",
                               "commuting_blocks", "optimize_depth",
-                              "timeout_ms", "noise"});
+                              "portfolio", "timeout_ms", "noise"});
             request.threads = static_cast<uint32_t>(
                 parseUintField(*config, "threads", 1, kMaxThreads));
             request.blockParallelism = static_cast<uint32_t>(
@@ -243,6 +243,8 @@ parseJobLine(const std::string &line, uint64_t seq)
                 parseBoolField(*config, "commuting_blocks", true);
             request.optimizeDepth =
                 parseBoolField(*config, "optimize_depth", true);
+            request.portfolio =
+                parseBoolField(*config, "portfolio", false);
             request.timeoutMs = parseUintField(*config, "timeout_ms", 0,
                                                UINT64_MAX);
             if (const JsonValue *noise = config->find("noise"))
@@ -295,6 +297,7 @@ successResultShell(uint64_t seq, const JobRequest &request)
     config["local_opt"] = request.localOpt;
     config["commuting_blocks"] = request.commutingBlocks;
     config["optimize_depth"] = request.optimizeDepth;
+    config["portfolio"] = request.portfolio;
     return doc;
 }
 

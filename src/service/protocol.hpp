@@ -141,6 +141,14 @@ struct JobRequest
     bool optimizeDepth = true;
 
     /**
+     * QuClearOptions::synthesisPortfolio: re-synthesize with the
+     * alternate tree configurations and keep the min-CX result.
+     * Default off — it multiplies compile time by the candidate count
+     * (local_opt semantics stay the paper's otherwise).
+     */
+    bool portfolio = false;
+
+    /**
      * Admission deadline in milliseconds (0 = none): a job still
      * waiting in the queue when its deadline expires fails with
      * `timeout` instead of compiling. Running jobs are never preempted.

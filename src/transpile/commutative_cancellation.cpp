@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "transpile/gate_algebra.hpp"
+
 namespace quclear {
 
 namespace {
@@ -12,6 +14,21 @@ bool
 touches(const Gate &g, uint32_t q)
 {
     return g.q0 == q || (isTwoQubit(g.type) && g.q1 == q);
+}
+
+/** Same unordered qubit pair, for the symmetric 2q gates. */
+bool
+samePair(const Gate &a, const Gate &b)
+{
+    return (a.q0 == b.q0 && a.q1 == b.q1) ||
+           (a.q0 == b.q1 && a.q1 == b.q0);
+}
+
+/** 1q gates the merge scan may move forward (every axis rotation). */
+bool
+isMovableRotation(const Gate &g)
+{
+    return !isTwoQubit(g.type) && gateAxis(g.type) != GateAxis::Other;
 }
 
 } // namespace
@@ -40,9 +57,20 @@ gatesCommute(const Gate &a, const Gate &b)
     if (!share0 && !share1)
         return true;
 
+    // Every gate commutes with an identical copy of itself.
+    if (a == b)
+        return true;
+
     // Diagonal gates commute with each other regardless of overlap.
     if (isDiagonalGate(a) && isDiagonalGate(b))
         return true;
+
+    // 1q gates rotating about the same axis on the same qubit commute,
+    // whatever the angles (e.g. Rx Rx, X SX, Ry Y).
+    if (!isTwoQubit(a.type) && !isTwoQubit(b.type) && a.q0 == b.q0) {
+        const GateAxis axis = gateAxis(a.type);
+        return axis != GateAxis::Other && gateAxis(b.type) == axis;
+    }
 
     auto is_x_axis = [](GateType t) {
         return t == GateType::X || t == GateType::SX ||
@@ -75,6 +103,14 @@ gatesCommute(const Gate &a, const Gate &b)
     if (a.type == GateType::CX && b.type == GateType::CZ)
         return a.q1 != b.q0 && a.q1 != b.q1;
 
+    // Swap is symmetric in its pair: it commutes with any gate that is
+    // itself pair-symmetric on the same two qubits (Swap, CZ).
+    if (a.type == GateType::Swap &&
+        (b.type == GateType::Swap || b.type == GateType::CZ))
+        return samePair(a, b);
+    if (b.type == GateType::Swap && a.type == GateType::CZ)
+        return samePair(a, b);
+
     // Conservative default: assume non-commuting.
     return false;
 }
@@ -82,46 +118,84 @@ gatesCommute(const Gate &a, const Gate &b)
 bool
 CommutativeCancellation::run(QuantumCircuit &qc) const
 {
-    const auto &gates = qc.gates();
-    const size_t n_gates = gates.size();
-    std::vector<bool> removed(n_gates, false);
+    std::vector<Gate> gates(qc.gates().begin(), qc.gates().end());
     bool changed = false;
 
-    for (size_t i = 0; i < n_gates; ++i) {
-        if (removed[i])
-            continue;
-        const Gate &g = gates[i];
-        if (g.type != GateType::CX && g.type != GateType::CZ)
-            continue;
+    // Iterate to a local fixpoint: each cancellation can unblock
+    // another (e.g. an inner Swap pair hiding an outer CX pair).
+    for (bool dirty = true; dirty;) {
+        dirty = false;
+        const size_t n_gates = gates.size();
+        std::vector<bool> removed(n_gates, false);
 
-        for (size_t j = i + 1; j < n_gates; ++j) {
-            if (removed[j])
+        for (size_t i = 0; i < n_gates; ++i) {
+            if (removed[i])
                 continue;
-            const Gate &h = gates[j];
-            const bool same = h.type == g.type && h.q0 == g.q0 &&
-                              h.q1 == g.q1;
-            const bool symmetric = g.type == GateType::CZ &&
-                                   h.type == GateType::CZ &&
-                                   h.q0 == g.q1 && h.q1 == g.q0;
-            if (same || symmetric) {
-                removed[i] = true;
-                removed[j] = true;
-                changed = true;
-                break;
+            const Gate &g = gates[i];
+
+            if (g.type == GateType::CX || g.type == GateType::CZ ||
+                g.type == GateType::Swap) {
+                // 2q pair cancellation through commuting gates.
+                for (size_t j = i + 1; j < n_gates; ++j) {
+                    if (removed[j])
+                        continue;
+                    const Gate &h = gates[j];
+                    const bool same = h.type == g.type && h.q0 == g.q0 &&
+                                      h.q1 == g.q1;
+                    const bool symmetric =
+                        (g.type == GateType::CZ ||
+                         g.type == GateType::Swap) &&
+                        h.type == g.type && h.q0 == g.q1 && h.q1 == g.q0;
+                    if (same || symmetric) {
+                        removed[i] = true;
+                        removed[j] = true;
+                        dirty = true;
+                        break;
+                    }
+                    if (!gatesCommute(g, h))
+                        break;
+                }
+            } else if (mergeRotations_ && isMovableRotation(g)) {
+                // Rotation merging through commuting windows: move g
+                // forward past gates it commutes with (Rz through CX
+                // controls, Rx through CX targets, ...) onto the next
+                // same-axis gate on its qubit.
+                for (size_t j = i + 1; j < n_gates; ++j) {
+                    if (removed[j])
+                        continue;
+                    const Gate &h = gates[j];
+                    if (!isTwoQubit(h.type) && h.q0 == g.q0) {
+                        const CombinedGate c = combineSingleQubit(g, h);
+                        if (c.combined) {
+                            removed[i] = true;
+                            if (c.identity)
+                                removed[j] = true;
+                            else
+                                gates[j] = c.merged;
+                            dirty = true;
+                            break;
+                        }
+                    }
+                    if (!gatesCommute(g, h))
+                        break;
+                }
             }
-            if (!gatesCommute(g, h))
-                break;
+        }
+
+        if (dirty) {
+            changed = true;
+            std::vector<Gate> kept;
+            kept.reserve(gates.size());
+            for (size_t i = 0; i < gates.size(); ++i)
+                if (!removed[i])
+                    kept.push_back(gates[i]);
+            gates = std::move(kept);
         }
     }
 
     if (!changed)
         return false;
-    std::vector<Gate> kept;
-    kept.reserve(n_gates);
-    for (size_t i = 0; i < n_gates; ++i)
-        if (!removed[i])
-            kept.push_back(gates[i]);
-    qc.mutableGates() = std::move(kept);
+    qc.mutableGates() = std::move(gates);
     return true;
 }
 

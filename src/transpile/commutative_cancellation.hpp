@@ -14,15 +14,29 @@
 
 namespace quclear {
 
-/** Cancels CX/CZ pairs separated by commuting gates. */
+/**
+ * Cancels CX/CZ/Swap pairs separated by commuting gates, and merges
+ * single-qubit rotations through commuting windows (Rz through CX
+ * controls, Rx through CX targets, ...). Rotation merging changes the
+ * number and order of Rz gates; callers that rely on the extractor's
+ * Rz-to-term mapping (core/parameterized.hpp) construct the pass with
+ * merge_rotations = false to keep every rotation in place.
+ */
 class CommutativeCancellation : public Pass
 {
   public:
+    explicit CommutativeCancellation(bool merge_rotations = true)
+        : mergeRotations_(merge_rotations)
+    {
+    }
     std::string name() const override
     {
         return "commutative-cancellation";
     }
     bool run(QuantumCircuit &qc) const override;
+
+  private:
+    bool mergeRotations_;
 };
 
 } // namespace quclear

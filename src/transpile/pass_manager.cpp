@@ -3,6 +3,7 @@
 #include "transpile/commutative_cancellation.hpp"
 #include "transpile/cx_cancellation.hpp"
 #include "transpile/hadamard_rewrite.hpp"
+#include "transpile/phase_rotation_folding.hpp"
 #include "transpile/single_qubit_fusion.hpp"
 
 #include <cstddef>
@@ -40,6 +41,7 @@ PassManager::level3()
     pm.addPass(std::make_unique<CxCancellation>());
     pm.addPass(std::make_unique<HadamardRewrite>());
     pm.addPass(std::make_unique<CommutativeCancellation>());
+    pm.addPass(std::make_unique<PhaseRotationFolding>());
     return pm;
 }
 

@@ -31,7 +31,10 @@ class PassManager
 
     /**
      * The default "level 3" pipeline: 1q fusion, adjacent CX
-     * cancellation, Hadamard rewrites, commutative cancellation.
+     * cancellation, Hadamard rewrites, commutative cancellation, and
+     * parity-keyed phase-rotation folding. Every pass is Clifford-safe:
+     * a circuit of Clifford gates stays Clifford, so the same pipeline
+     * runs over the extracted (absorbed) Clifford tail.
      */
     static PassManager level3();
 

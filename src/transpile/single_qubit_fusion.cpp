@@ -1,113 +1,12 @@
 #include "transpile/single_qubit_fusion.hpp"
 
-#include <cmath>
 #include <cstdint>
-#include <optional>
 #include <utility>
 #include <vector>
 
+#include "transpile/gate_algebra.hpp"
+
 namespace quclear {
-
-namespace {
-
-constexpr double kPi = 3.14159265358979323846;
-
-/** Result of trying to combine two adjacent 1q gates on one qubit. */
-struct Combine
-{
-    bool combined = false; //!< a.b was rewritten
-    bool dropBoth = false; //!< a.b = identity (up to global phase)
-    Gate merged{ GateType::H, 0 };
-};
-
-bool
-isInversePair(GateType a, GateType b)
-{
-    if (a == b) {
-        return a == GateType::H || a == GateType::X || a == GateType::Y ||
-               a == GateType::Z;
-    }
-    return (a == GateType::S && b == GateType::Sdg) ||
-           (a == GateType::Sdg && b == GateType::S) ||
-           (a == GateType::SX && b == GateType::SXdg) ||
-           (a == GateType::SXdg && b == GateType::SX);
-}
-
-/** Rz-equivalent angle of a diagonal Clifford, up to global phase. */
-std::optional<double>
-diagonalAngle(GateType t)
-{
-    switch (t) {
-      case GateType::S:   return kPi / 2;
-      case GateType::Sdg: return -kPi / 2;
-      case GateType::Z:   return kPi;
-      default:            return std::nullopt;
-    }
-}
-
-bool
-angleIsTrivial(double theta)
-{
-    const double m = std::fmod(std::fabs(theta), 2 * kPi);
-    return m < 1e-12 || (2 * kPi - m) < 1e-12;
-}
-
-Combine
-tryCombine(const Gate &first, const Gate &second)
-{
-    Combine c;
-    if (first.q0 != second.q0)
-        return c;
-
-    if (isInversePair(first.type, second.type)) {
-        c.combined = true;
-        c.dropBoth = true;
-        return c;
-    }
-
-    // Rotation merging within the same axis.
-    if (first.type == second.type && isParameterized(first.type)) {
-        const double theta = first.angle + second.angle;
-        c.combined = true;
-        if (angleIsTrivial(theta)) {
-            c.dropBoth = true;
-        } else {
-            c.merged = Gate(first.type, first.q0, theta);
-        }
-        return c;
-    }
-
-    // Diagonal Clifford algebra: fold S/Sdg/Z pairs and Rz neighbours.
-    const auto da = diagonalAngle(first.type);
-    const auto db = diagonalAngle(second.type);
-    const bool a_rz = first.type == GateType::Rz;
-    const bool b_rz = second.type == GateType::Rz;
-    if ((da || a_rz) && (db || b_rz)) {
-        const double theta =
-            (da ? *da : first.angle) + (db ? *db : second.angle);
-        c.combined = true;
-        if (angleIsTrivial(theta)) {
-            c.dropBoth = true;
-            return c;
-        }
-        // Prefer a Clifford mnemonic when the angle is one.
-        const double m = std::fmod(theta + 4 * kPi, 2 * kPi);
-        auto near = [&](double x) { return std::fabs(m - x) < 1e-12; };
-        if (near(kPi / 2))
-            c.merged = Gate(GateType::S, first.q0);
-        else if (near(kPi))
-            c.merged = Gate(GateType::Z, first.q0);
-        else if (near(3 * kPi / 2))
-            c.merged = Gate(GateType::Sdg, first.q0);
-        else
-            c.merged = Gate(GateType::Rz, first.q0, theta);
-        return c;
-    }
-
-    return c;
-}
-
-} // namespace
 
 bool
 SingleQubitFusion::run(QuantumCircuit &qc) const
@@ -124,13 +23,13 @@ SingleQubitFusion::run(QuantumCircuit &qc) const
                 stack.push_back(current);
                 return;
             }
-            Combine c = tryCombine(stack.back(), current);
+            CombinedGate c = combineSingleQubit(stack.back(), current);
             if (!c.combined) {
                 stack.push_back(current);
                 return;
             }
             stack.pop_back();
-            if (c.dropBoth)
+            if (c.identity)
                 return;
             current = c.merged;
         }

@@ -206,6 +206,20 @@ TEST(JobParse, DefaultsMatchContract)
     EXPECT_FALSE(parsed.request.noise.enabled);
 }
 
+TEST(JobParse, PortfolioConfigKey)
+{
+    const ParsedJob parsed =
+        parseJobLine(smokeJobLine("j10", R"({"portfolio":true})"), 1);
+    ASSERT_EQ(parsed.error, ServiceError::None);
+    EXPECT_TRUE(parsed.request.portfolio);
+
+    // Default off: portfolio multiplies compile time.
+    const ParsedJob defaulted =
+        parseJobLine(R"json({"benchmark":"LABS-(n10)"})json", 2);
+    ASSERT_EQ(defaulted.error, ServiceError::None);
+    EXPECT_FALSE(defaulted.request.portfolio);
+}
+
 TEST(JobParse, BlockParallelismConfigKey)
 {
     const ParsedJob parsed = parseJobLine(

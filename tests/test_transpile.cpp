@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/statevector.hpp"
+#include "tableau/clifford_tableau.hpp"
 #include "transpile/commutative_cancellation.hpp"
 #include "circuit/circuit_stats.hpp"
 #include "transpile/basis_conversion.hpp"
@@ -14,6 +15,7 @@
 #include "transpile/depth_scheduling.hpp"
 #include "transpile/hadamard_rewrite.hpp"
 #include "transpile/pass_manager.hpp"
+#include "transpile/phase_rotation_folding.hpp"
 #include "transpile/single_qubit_fusion.hpp"
 #include "util/rng.hpp"
 
@@ -38,6 +40,40 @@ randomCircuit(uint32_t n, size_t gates, Rng &rng)
                 qc.cx(q, r);
             break;
           }
+        }
+    }
+    return qc;
+}
+
+/** Wider gate vocabulary: adds Swap/CZ/Rx/Ry/SX to randomCircuit's set. */
+QuantumCircuit
+randomRichCircuit(uint32_t n, size_t gates, Rng &rng)
+{
+    QuantumCircuit qc(n);
+    while (qc.size() < gates) {
+        const uint32_t q = static_cast<uint32_t>(rng.uniformInt(n));
+        const uint32_t r = static_cast<uint32_t>(rng.uniformInt(n));
+        switch (rng.uniformInt(12)) {
+          case 0: qc.h(q); break;
+          case 1: qc.s(q); break;
+          case 2: qc.sdg(q); break;
+          case 3: qc.rz(q, rng.uniformReal(-3, 3)); break;
+          case 4: qc.x(q); break;
+          case 5: qc.rx(q, rng.uniformReal(-3, 3)); break;
+          case 6: qc.ry(q, rng.uniformReal(-3, 3)); break;
+          case 7: qc.sx(q); break;
+          case 8:
+            if (r != q)
+                qc.swap(q, r);
+            break;
+          case 9:
+            if (r != q)
+                qc.cz(q, r);
+            break;
+          default:
+            if (r != q)
+                qc.cx(q, r);
+            break;
         }
     }
     return qc;
@@ -213,6 +249,152 @@ TEST(CommutativeCancellationTest, SharedControlCxDoesNotBlock)
     EXPECT_TRUE(circuitsEquivalent(before, qc));
 }
 
+TEST(GatesCommuteTest, SwapAndSelfCommutationRules)
+{
+    const Gate swap01{ GateType::Swap, 0u, 1u };
+    const Gate swap10{ GateType::Swap, 1u, 0u };
+    const Gate cz10{ GateType::CZ, 1u, 0u };
+    const Gate cx01{ GateType::CX, 0u, 1u };
+    // Swap is pair-symmetric: commutes with Swap/CZ on the same pair in
+    // either orientation (regression: the old table answered false).
+    EXPECT_TRUE(gatesCommute(swap01, swap10));
+    EXPECT_TRUE(gatesCommute(swap01, cz10));
+    EXPECT_TRUE(gatesCommute(cz10, swap01));
+    // ... but not with an asymmetric CX on the pair.
+    EXPECT_FALSE(gatesCommute(swap01, cx01));
+    // Every gate commutes with an identical copy of itself.
+    EXPECT_TRUE(gatesCommute(swap01, swap01));
+    const Gate rx{ GateType::Rx, 0, 0.3 };
+    EXPECT_TRUE(gatesCommute(rx, rx));
+    // Same-axis 1q gates on the same qubit commute; cross-axis do not.
+    EXPECT_TRUE(gatesCommute(rx, Gate{ GateType::SX, 0 }));
+    EXPECT_FALSE(gatesCommute(rx, Gate{ GateType::Ry, 0, 0.2 }));
+}
+
+TEST(CommutativeCancellationTest, SwapPairCancelsThroughCz)
+{
+    QuantumCircuit qc(2);
+    qc.swap(0, 1);
+    qc.cz(1, 0); // pair-symmetric: does not block
+    qc.swap(1, 0);
+    QuantumCircuit before = qc;
+    CommutativeCancellation pass;
+    EXPECT_TRUE(pass.run(qc));
+    ASSERT_EQ(qc.size(), 1u);
+    EXPECT_EQ(qc.gate(0).type, GateType::CZ);
+    EXPECT_TRUE(circuitsEquivalent(before, qc));
+}
+
+TEST(CommutativeCancellationTest, RzMergesThroughCxControl)
+{
+    QuantumCircuit qc(2);
+    qc.rz(0, 0.4);
+    qc.cx(0, 1); // Rz on the control commutes through
+    qc.rz(0, 0.3);
+    QuantumCircuit before = qc;
+    CommutativeCancellation pass;
+    EXPECT_TRUE(pass.run(qc));
+    EXPECT_EQ(qc.size(), 2u);
+    EXPECT_EQ(qc.twoQubitCount(true), 1u);
+    EXPECT_TRUE(circuitsEquivalent(before, qc));
+}
+
+TEST(CommutativeCancellationTest, RxCancelsThroughCxTarget)
+{
+    QuantumCircuit qc(2);
+    qc.rx(1, 0.9);
+    qc.cx(0, 1); // X-axis on the target commutes through
+    qc.rx(1, -0.9);
+    QuantumCircuit before = qc;
+    CommutativeCancellation pass;
+    EXPECT_TRUE(pass.run(qc));
+    ASSERT_EQ(qc.size(), 1u);
+    EXPECT_EQ(qc.gate(0).type, GateType::CX);
+    EXPECT_TRUE(circuitsEquivalent(before, qc));
+}
+
+TEST(CommutativeCancellationTest, MergeOptOutKeepsRotationsInPlace)
+{
+    // The Rz-preserving mode (used by core/parameterized.hpp) must keep
+    // rotation count and order while still doing 2q cancellation.
+    QuantumCircuit qc(2);
+    qc.rz(0, 0.4);
+    qc.cx(0, 1);
+    qc.cx(0, 1);
+    qc.rz(0, 0.3);
+    const CommutativeCancellation preserve(/*merge_rotations=*/false);
+    EXPECT_TRUE(preserve.run(qc));
+    ASSERT_EQ(qc.size(), 2u);
+    EXPECT_EQ(qc.gate(0).angle, 0.4);
+    EXPECT_EQ(qc.gate(1).angle, 0.3);
+}
+
+TEST(PhaseRotationFoldingTest, MergesAcrossCxParityWindow)
+{
+    // The wire-1 parity returns to its original value after the second
+    // CX, so the outer rotations fold even though neither commutes with
+    // the CX next to it.
+    QuantumCircuit qc(2);
+    qc.rz(1, 0.4);
+    qc.cx(0, 1);
+    qc.rz(1, 0.7); // distinct parity: stays
+    qc.cx(0, 1);
+    qc.rz(1, 0.2);
+    QuantumCircuit before = qc;
+    PhaseRotationFolding pass;
+    EXPECT_TRUE(pass.run(qc));
+    EXPECT_EQ(qc.size(), 4u);
+    EXPECT_TRUE(circuitsEquivalent(before, qc));
+    // Idempotent on its own output.
+    EXPECT_FALSE(pass.run(qc));
+}
+
+TEST(PhaseRotationFoldingTest, NegationFlipsRotationSign)
+{
+    // X Rz(a) X = Rz(-a): with the negation bit tracked, the two
+    // rotations cancel exactly and only the Xs remain.
+    QuantumCircuit qc(1);
+    qc.x(0);
+    qc.rz(0, 0.6);
+    qc.x(0);
+    qc.rz(0, 0.6);
+    QuantumCircuit before = qc;
+    PhaseRotationFolding pass;
+    EXPECT_TRUE(pass.run(qc));
+    EXPECT_EQ(qc.size(), 2u);
+    EXPECT_TRUE(circuitsEquivalent(before, qc));
+}
+
+TEST(PhaseRotationFoldingTest, BreakerGateBlocksFolding)
+{
+    // H re-bases the wire: the tracker must allocate a fresh symbol and
+    // refuse to merge across it.
+    QuantumCircuit qc(1);
+    qc.rz(0, 0.4);
+    qc.h(0);
+    qc.rz(0, 0.3);
+    PhaseRotationFolding pass;
+    EXPECT_FALSE(pass.run(qc));
+    EXPECT_EQ(qc.size(), 3u);
+}
+
+TEST(PhaseRotationFoldingTest, CliffordPhasesFoldToCliffordGates)
+{
+    // S + S folds to Z (not an Rz mnemonic), keeping the circuit
+    // recognizably Clifford for the tail pipeline's tableau replay.
+    QuantumCircuit qc(2);
+    qc.s(1);
+    qc.cx(0, 1);
+    qc.cx(0, 1);
+    qc.s(1);
+    QuantumCircuit before = qc;
+    PhaseRotationFolding pass;
+    EXPECT_TRUE(pass.run(qc));
+    EXPECT_TRUE(circuitsEquivalent(before, qc));
+    for (const Gate &g : qc.gates())
+        EXPECT_TRUE(isClifford(g.type)) << gateName(g.type);
+}
+
 TEST(PassManagerTest, RunsToFixpoint)
 {
     // A pattern that needs multiple sweeps: H H CX CX collapses fully.
@@ -235,6 +417,23 @@ TEST(PassPropertyTest, AllPassesPreserveUnitaryOnRandomCircuits)
         expectUnitaryPreserved(CxCancellation(), qc);
         expectUnitaryPreserved(HadamardRewrite(), qc);
         expectUnitaryPreserved(CommutativeCancellation(), qc);
+        expectUnitaryPreserved(PhaseRotationFolding(), qc);
+    }
+}
+
+TEST(PassPropertyTest, AllPassesPreserveUnitaryOnRichCircuits)
+{
+    // Same property over the full gate vocabulary (Swap, CZ, Rx, Ry,
+    // SX) that the strengthened commutation table and the parity
+    // tracker handle specially.
+    Rng rng(101);
+    for (int trial = 0; trial < 20; ++trial) {
+        const QuantumCircuit qc = randomRichCircuit(3, 25, rng);
+        expectUnitaryPreserved(SingleQubitFusion(), qc);
+        expectUnitaryPreserved(CxCancellation(), qc);
+        expectUnitaryPreserved(HadamardRewrite(), qc);
+        expectUnitaryPreserved(CommutativeCancellation(), qc);
+        expectUnitaryPreserved(PhaseRotationFolding(), qc);
     }
 }
 
@@ -248,6 +447,61 @@ TEST(PassPropertyTest, Level3PreservesUnitaryAndNeverGrows)
         EXPECT_TRUE(circuitsEquivalent(before, qc));
         EXPECT_LE(qc.size(), before.size());
         EXPECT_LE(qc.twoQubitCount(true), before.twoQubitCount(true));
+    }
+}
+
+TEST(PassPropertyTest, Level3PreservesUnitaryOnRichCircuits)
+{
+    Rng rng(103);
+    for (int trial = 0; trial < 10; ++trial) {
+        QuantumCircuit qc = randomRichCircuit(4, 40, rng);
+        QuantumCircuit before = qc;
+        PassManager::level3().run(qc);
+        EXPECT_TRUE(circuitsEquivalent(before, qc));
+        EXPECT_LE(qc.size(), before.size());
+        EXPECT_LE(qc.twoQubitCount(true), before.twoQubitCount(true));
+    }
+}
+
+TEST(PassPropertyTest, Level3IsCliffordSafeWithEqualTableau)
+{
+    // The tail pipeline reuses level3 on absorbed Clifford circuits: on
+    // Clifford input every pass must emit only Clifford gates, and the
+    // tableau must replay identically — the property the adoption check
+    // in QuClear::compile relies on.
+    Rng rng(107);
+    for (int trial = 0; trial < 10; ++trial) {
+        QuantumCircuit qc(5);
+        while (qc.size() < 60) {
+            const uint32_t q = static_cast<uint32_t>(rng.uniformInt(5));
+            const uint32_t r = static_cast<uint32_t>(rng.uniformInt(5));
+            switch (rng.uniformInt(9)) {
+              case 0: qc.h(q); break;
+              case 1: qc.s(q); break;
+              case 2: qc.sdg(q); break;
+              case 3: qc.x(q); break;
+              case 4: qc.z(q); break;
+              case 5: qc.sx(q); break;
+              case 6:
+                if (r != q)
+                    qc.cz(q, r);
+                break;
+              case 7:
+                if (r != q)
+                    qc.swap(q, r);
+                break;
+              default:
+                if (r != q)
+                    qc.cx(q, r);
+                break;
+            }
+        }
+        QuantumCircuit before = qc;
+        PassManager::level3().run(qc);
+        for (const Gate &g : qc.gates())
+            EXPECT_TRUE(isClifford(g.type)) << gateName(g.type);
+        EXPECT_TRUE(CliffordTableau::fromCircuit(qc) ==
+                    CliffordTableau::fromCircuit(before));
     }
 }
 

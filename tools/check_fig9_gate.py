@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Gate the Fig. 9 artifact: local optimization must actually reduce.
+
+Reads BENCH_fig9.json (schema quclear-bench-artifact/v1) and fails
+unless every QAOA row shows a strictly positive CNOT reduction and the
+geometric-mean reduction clears a floor (default 1%, well under the
+smoke tier's ~3.6% so only a real regression trips it). This is the CI
+tripwire for the "level3 cancels nothing" failure mode: a pass or
+portfolio change that silently stops finding reductions flattens
+reduction_pct to 0 and turns this gate red.
+
+Pure stdlib so CI can run it anywhere Python 3 exists.
+
+Usage:
+    QUCLEAR_SCALE=smoke QUCLEAR_ARTIFACT_DIR=. ./bench_fig9
+    python3 tools/check_fig9_gate.py BENCH_fig9.json
+    python3 tools/check_fig9_gate.py --min-geomean 2.0 BENCH_fig9.json
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "quclear-bench-artifact/v1"
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check(doc, min_geomean):
+    failures = []
+    if doc.get("schema") != SCHEMA:
+        failures.append(
+            f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
+    if doc.get("harness") != "fig9":
+        failures.append(f"harness must be 'fig9', got {doc.get('harness')!r}")
+
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        failures.append("rows must be a non-empty array")
+        rows = []
+    for row in rows:
+        name = row.get("benchmark", "<unnamed>")
+        reduction = row.get("reduction_pct")
+        if not is_number(reduction):
+            failures.append(f"{name}: reduction_pct missing or non-numeric")
+            continue
+        if reduction <= 0.0:
+            failures.append(
+                f"{name}: reduction_pct = {reduction:.2f} (must be > 0: "
+                "local optimization found nothing on this row)")
+        with_opt = row.get("results", {}).get("with_opt", {})
+        for key in ("pass_seconds", "pass_sweeps"):
+            if not is_number(with_opt.get(key)):
+                failures.append(
+                    f"{name}: results.with_opt.{key} missing or non-numeric")
+
+    geomean = doc.get("summary", {}).get("geomean_reduction_pct")
+    if not is_number(geomean):
+        failures.append("summary.geomean_reduction_pct missing or non-numeric")
+    elif geomean < min_geomean:
+        failures.append(
+            f"geomean_reduction_pct = {geomean:.2f} is below the "
+            f"{min_geomean:.2f}% floor")
+    return failures, geomean
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate BENCH_fig9.json on nonzero CNOT reductions")
+    parser.add_argument("path", help="path to BENCH_fig9.json")
+    parser.add_argument("--min-geomean", type=float, default=1.0,
+                        metavar="PCT",
+                        help="minimum geomean reduction in percent "
+                             "(default: 1.0)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"cannot read {args.path}: {e}", file=sys.stderr)
+        return 1
+
+    failures, geomean = check(doc, args.min_geomean)
+    if failures:
+        for failure in failures:
+            print(f"fig9 gate: {failure}", file=sys.stderr)
+        return 1
+    rows = doc["rows"]
+    print(f"fig9 gate OK: {len(rows)} row(s), every reduction_pct > 0, "
+          f"geomean {geomean:.2f}% >= {args.min_geomean:.2f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -67,7 +67,8 @@ def check_ok(doc):
     require(isinstance(config, dict), "'config' must be an object")
     require(is_uint(config.get("threads")) and config["threads"] >= 1,
             "config.threads must be a positive integer")
-    for key in ("local_opt", "commuting_blocks", "optimize_depth"):
+    for key in ("local_opt", "commuting_blocks", "optimize_depth",
+                "portfolio"):
         require(isinstance(config.get(key), bool),
                 f"config.{key} must be a boolean")
 
