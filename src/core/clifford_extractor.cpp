@@ -231,6 +231,7 @@ extractChain(const std::vector<PauliTerm> &terms, const Chain &chain,
     std::vector<uint32_t> pending;    // reusable replay index scratch
     std::vector<uint32_t> support;    // reusable support scratch
     PauliString cand_scratch;         // reusable cost-model buffer
+    SupportIndex curr_support;        // reusable occupancy index of curr
 
     for (size_t ci = 0; ci < chain.size(); ++ci) {
         const SubBlock &sub = chain[ci];
@@ -290,10 +291,14 @@ extractChain(const std::vector<PauliTerm> &terms, const Chain &chain,
                 uint32_t best_prev = pos;
                 uint32_t best_cost = ~0u;
                 uint32_t prev = pos;
+                // The cost model walks curr's support twice per
+                // candidate; index curr once so every candidate's walks
+                // jump straight to the occupied words.
+                curr.buildSupportIndex(curr_support);
                 for (uint32_t j = order_next[pos]; j != m;
                      prev = j, j = order_next[j]) {
                     const uint32_t cost = nonRecursiveExtractionCost(
-                        curr, conj[j], cand_scratch);
+                        curr, curr_support, conj[j], cand_scratch);
                     if (cost < best_cost) {
                         best_cost = cost;
                         best_j = j;

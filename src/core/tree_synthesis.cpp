@@ -366,15 +366,17 @@ TreeSynthesizer::synthesize(const std::vector<uint32_t> &tree_idxs)
 
 uint32_t
 nonRecursiveExtractionCost(const PauliString &current,
+                           const SupportIndex &current_idx,
                            const PauliString &candidate,
                            PauliString &scratch)
 {
     PauliString &cand = scratch;
     cand = candidate; // vector assignment reuses the scratch capacity
 
-    // Hypothetical basis layer of the current Pauli (word-level walk; no
-    // support vector is materialized).
-    current.forEachSupport([&](uint32_t q, PauliOp op) {
+    // Hypothetical basis layer of the current Pauli (index-driven
+    // word-level walk; no support vector is materialized and empty
+    // words are skipped via the occupancy index).
+    current.forEachSupport(current_idx, [&](uint32_t q, PauliOp op) {
         switch (op) {
           case PauliOp::X:
             cand.applyH(q);
@@ -396,7 +398,7 @@ nonRecursiveExtractionCost(const PauliString &current,
     // running roots replace the materialized group vectors.
     std::array<uint32_t, 4> last;
     last.fill(~0u);
-    current.forEachSupport([&](uint32_t q, PauliOp) {
+    current.forEachSupport(current_idx, [&](uint32_t q, PauliOp) {
         const auto g = static_cast<uint8_t>(cand.op(q));
         if (last[g] != ~0u)
             cand.applyCX(last[g], q);
@@ -432,6 +434,18 @@ nonRecursiveExtractionCost(const PauliString &current,
         --num_roots;
     }
     return cand.weight();
+}
+
+uint32_t
+nonRecursiveExtractionCost(const PauliString &current,
+                           const PauliString &candidate,
+                           PauliString &scratch)
+{
+    // One-shot callers pay a single occupancy scan; the index then
+    // serves both support walks of the cost model.
+    SupportIndex idx;
+    current.buildSupportIndex(idx);
+    return nonRecursiveExtractionCost(current, idx, candidate, scratch);
 }
 
 uint32_t

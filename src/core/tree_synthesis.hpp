@@ -156,6 +156,18 @@ uint32_t nonRecursiveExtractionCost(const PauliString &current,
                                     const PauliString &candidate,
                                     PauliString &scratch);
 
+/**
+ * Index-driven variant: @p current_idx must be the occupancy index of
+ * @p current (PauliString::buildSupportIndex). The cost model walks
+ * current's support twice, so a caller scoring MANY candidates against
+ * one current builds the index once and both walks per candidate skip
+ * straight to the occupied words.
+ */
+uint32_t nonRecursiveExtractionCost(const PauliString &current,
+                                    const SupportIndex &current_idx,
+                                    const PauliString &candidate,
+                                    PauliString &scratch);
+
 /** Convenience overload with an internal scratch buffer. */
 uint32_t nonRecursiveExtractionCost(const PauliString &current,
                                     const PauliString &candidate);

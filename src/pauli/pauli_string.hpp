@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "pauli/pauli_op.hpp"
+#include "util/support_index.hpp"
 
 namespace quclear {
 
@@ -117,6 +118,44 @@ class PauliString
                    static_cast<PauliOp>(code));
             }
         }
+    }
+
+    /**
+     * Record which packed words carry a non-identity position into the
+     * reusable occupancy index (clears @p idx first). Pairing this with
+     * the index-driven forEachSupport overload lets wide-register
+     * callers iterate only occupied words of very sparse strings.
+     */
+    void buildSupportIndex(SupportIndex &idx) const
+    {
+        idx.clear();
+        for (size_t w = 0; w < x_.size(); ++w)
+            if ((x_[w] | z_[w]) != 0)
+                idx.markWord(static_cast<uint32_t>(w));
+    }
+
+    /**
+     * Index-driven variant of forEachSupport: visits only the words
+     * flagged in @p idx (which must have been built from THIS string by
+     * buildSupportIndex, or a superset of its occupancy). Ascending
+     * qubit order, same callback shape.
+     */
+    template <typename Fn>
+    void forEachSupport(const SupportIndex &idx, Fn &&fn) const
+    {
+        idx.forEachWord([&](uint32_t w) {
+            uint64_t bits = x_[w] | z_[w];
+            while (bits) {
+                const int b = std::countr_zero(bits);
+                bits &= bits - 1;
+                const uint8_t code =
+                    static_cast<uint8_t>(((x_[w] >> b) & 1) |
+                                         (((z_[w] >> b) & 1) << 1));
+                fn(static_cast<uint32_t>(64 * w +
+                                         static_cast<uint32_t>(b)),
+                   static_cast<PauliOp>(code));
+            }
+        });
     }
 
     /** True iff every position is the identity (phase ignored). */

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/simd_dispatch.hpp"
 #include "util/worker_pool.hpp"
 
 namespace quclear {
@@ -24,58 +25,6 @@ spreadBits(uint64_t v)
     v = (v | (v << 2)) & 0x3333333333333333ULL;
     v = (v | (v << 1)) & 0x5555555555555555ULL;
     return v;
-}
-
-/**
- * Exclusive prefix-parity scan: bit l of the result is the parity of
- * bits 0..l-1 of @p v.
- */
-inline uint64_t
-prefixParityExclusive(uint64_t v)
-{
-    v ^= v << 1;
-    v ^= v << 2;
-    v ^= v << 4;
-    v ^= v << 8;
-    v ^= v << 16;
-    v ^= v << 32;
-    return v << 1;
-}
-
-/**
- * One block-swap round of the 64x64 bit transpose with a compile-time
- * stride so the 32-iteration loop fully unrolls (the runtime-stride
- * version compiles to a branchy scalar loop that dominates the
- * transpose profile).
- */
-template <uint32_t J, uint64_t M>
-inline void
-transposeStep(uint64_t a[64])
-{
-    for (uint32_t base = 0; base < 64; base += 2 * J) {
-        for (uint32_t off = 0; off < J; ++off) {
-            const uint32_t k = base + off;
-            const uint64_t t = ((a[k] >> J) ^ a[k | J]) & M;
-            a[k] ^= t << J;
-            a[k | J] ^= t;
-        }
-    }
-}
-
-/**
- * In-place 64x64 bit-matrix transpose (recursive block swap, Hacker's
- * Delight 7-3 adapted to LSB-first bit order): afterwards bit j of
- * a[i] is the old bit i of a[j].
- */
-inline void
-transpose64(uint64_t a[64])
-{
-    transposeStep<32, 0x00000000FFFFFFFFULL>(a);
-    transposeStep<16, 0x0000FFFF0000FFFFULL>(a);
-    transposeStep<8, 0x00FF00FF00FF00FFULL>(a);
-    transposeStep<4, 0x0F0F0F0F0F0F0F0FULL>(a);
-    transposeStep<2, 0x3333333333333333ULL>(a);
-    transposeStep<1, 0x5555555555555555ULL>(a);
 }
 
 inline uint32_t
@@ -121,16 +70,23 @@ PackedTableau::fromCircuit(const QuantumCircuit &qc)
     return t;
 }
 
+// The gate-append column loops live in the dispatched kernel table
+// (src/util/simd_kernels_*.cpp; see the scalar backend for the sign
+// algebra comments). A one-word tableau (n <= 32) keeps an inline
+// scalar body: at that size the indirect call would cost more than
+// the update itself.
+
 void
 PackedTableau::appendH(uint32_t q)
 {
     uint64_t *xc = &x_[q * words_];
     uint64_t *zc = &z_[q * words_];
-    for (uint32_t w = 0; w < words_; ++w) {
-        // H: X <-> Z, Y -> -Y.
-        signs_[w] ^= xc[w] & zc[w];
-        std::swap(xc[w], zc[w]);
+    if (words_ == 1) {
+        signs_[0] ^= xc[0] & zc[0]; // H: X <-> Z, Y -> -Y
+        std::swap(xc[0], zc[0]);
+        return;
     }
+    simd::active().appendH(xc, zc, signs_.data(), words_);
 }
 
 void
@@ -138,11 +94,12 @@ PackedTableau::appendS(uint32_t q)
 {
     uint64_t *xc = &x_[q * words_];
     uint64_t *zc = &z_[q * words_];
-    for (uint32_t w = 0; w < words_; ++w) {
-        // S: X -> Y, Y -> -X, Z -> Z.
-        signs_[w] ^= xc[w] & zc[w];
-        zc[w] ^= xc[w];
+    if (words_ == 1) {
+        signs_[0] ^= xc[0] & zc[0]; // S: X -> Y, Y -> -X
+        zc[0] ^= xc[0];
+        return;
     }
+    simd::active().appendS(xc, zc, signs_.data(), words_);
 }
 
 void
@@ -150,36 +107,49 @@ PackedTableau::appendSdg(uint32_t q)
 {
     uint64_t *xc = &x_[q * words_];
     uint64_t *zc = &z_[q * words_];
-    for (uint32_t w = 0; w < words_; ++w) {
-        // Sdg: X -> -Y, Y -> X, Z -> Z.
-        signs_[w] ^= xc[w] & ~zc[w];
-        zc[w] ^= xc[w];
+    if (words_ == 1) {
+        signs_[0] ^= xc[0] & ~zc[0]; // Sdg: X -> -Y, Y -> X
+        zc[0] ^= xc[0];
+        return;
     }
+    simd::active().appendSdg(xc, zc, signs_.data(), words_);
 }
 
 void
 PackedTableau::appendX(uint32_t q)
 {
+    // X anticommutes with Z and Y.
     const uint64_t *zc = &z_[q * words_];
-    for (uint32_t w = 0; w < words_; ++w)
-        signs_[w] ^= zc[w]; // X anticommutes with Z and Y
+    if (words_ == 1) {
+        signs_[0] ^= zc[0];
+        return;
+    }
+    simd::active().xorInto(signs_.data(), zc, words_);
 }
 
 void
 PackedTableau::appendY(uint32_t q)
 {
+    // Y anticommutes with X and Z.
     const uint64_t *xc = &x_[q * words_];
     const uint64_t *zc = &z_[q * words_];
-    for (uint32_t w = 0; w < words_; ++w)
-        signs_[w] ^= xc[w] ^ zc[w]; // Y anticommutes with X and Z
+    if (words_ == 1) {
+        signs_[0] ^= xc[0] ^ zc[0];
+        return;
+    }
+    simd::active().xorInto2(signs_.data(), xc, zc, words_);
 }
 
 void
 PackedTableau::appendZ(uint32_t q)
 {
+    // Z anticommutes with X and Y.
     const uint64_t *xc = &x_[q * words_];
-    for (uint32_t w = 0; w < words_; ++w)
-        signs_[w] ^= xc[w]; // Z anticommutes with X and Y
+    if (words_ == 1) {
+        signs_[0] ^= xc[0];
+        return;
+    }
+    simd::active().xorInto(signs_.data(), xc, words_);
 }
 
 void
@@ -187,11 +157,12 @@ PackedTableau::appendSqrtX(uint32_t q)
 {
     uint64_t *xc = &x_[q * words_];
     uint64_t *zc = &z_[q * words_];
-    for (uint32_t w = 0; w < words_; ++w) {
-        // sqrt(X): X -> X, Z -> -Y, Y -> Z.
-        signs_[w] ^= ~xc[w] & zc[w];
-        xc[w] ^= zc[w];
+    if (words_ == 1) {
+        signs_[0] ^= ~xc[0] & zc[0]; // sqrt(X): Z -> -Y, Y -> Z
+        xc[0] ^= zc[0];
+        return;
     }
+    simd::active().appendSqrtX(xc, zc, signs_.data(), words_);
 }
 
 void
@@ -199,11 +170,12 @@ PackedTableau::appendSqrtXdg(uint32_t q)
 {
     uint64_t *xc = &x_[q * words_];
     uint64_t *zc = &z_[q * words_];
-    for (uint32_t w = 0; w < words_; ++w) {
-        // sqrt(X)~: X -> X, Z -> Y, Y -> -Z.
-        signs_[w] ^= xc[w] & zc[w];
-        xc[w] ^= zc[w];
+    if (words_ == 1) {
+        signs_[0] ^= xc[0] & zc[0]; // sqrt(X)~: Z -> Y, Y -> -Z
+        xc[0] ^= zc[0];
+        return;
     }
+    simd::active().appendSqrtXdg(xc, zc, signs_.data(), words_);
 }
 
 void
@@ -214,12 +186,14 @@ PackedTableau::appendCX(uint32_t control, uint32_t target)
     uint64_t *zc = &z_[control * words_];
     uint64_t *xt = &x_[target * words_];
     uint64_t *zt = &z_[target * words_];
-    for (uint32_t w = 0; w < words_; ++w) {
+    if (words_ == 1) {
         // Aaronson-Gottesman: sign flips iff xc & zt & ~(xt ^ zc).
-        signs_[w] ^= xc[w] & zt[w] & ~(xt[w] ^ zc[w]);
-        xt[w] ^= xc[w];
-        zc[w] ^= zt[w];
+        signs_[0] ^= xc[0] & zt[0] & ~(xt[0] ^ zc[0]);
+        xt[0] ^= xc[0];
+        zc[0] ^= zt[0];
+        return;
     }
+    simd::active().appendCX(xc, zc, xt, zt, signs_.data(), words_);
 }
 
 void
@@ -230,12 +204,14 @@ PackedTableau::appendCZ(uint32_t a, uint32_t b)
     uint64_t *za = &z_[a * words_];
     uint64_t *xb = &x_[b * words_];
     uint64_t *zb = &z_[b * words_];
-    for (uint32_t w = 0; w < words_; ++w) {
+    if (words_ == 1) {
         // CZ: sign flips iff xa & xb & (za ^ zb); za ^= xb, zb ^= xa.
-        signs_[w] ^= xa[w] & xb[w] & (za[w] ^ zb[w]);
-        za[w] ^= xb[w];
-        zb[w] ^= xa[w];
+        signs_[0] ^= xa[0] & xb[0] & (za[0] ^ zb[0]);
+        za[0] ^= xb[0];
+        zb[0] ^= xa[0];
+        return;
     }
+    simd::active().appendCZ(xa, za, xb, zb, signs_.data(), words_);
 }
 
 void
@@ -246,10 +222,14 @@ PackedTableau::appendSwap(uint32_t a, uint32_t b)
     uint64_t *za = &z_[a * words_];
     uint64_t *xb = &x_[b * words_];
     uint64_t *zb = &z_[b * words_];
-    for (uint32_t w = 0; w < words_; ++w) {
-        std::swap(xa[w], xb[w]);
-        std::swap(za[w], zb[w]);
+    if (words_ == 1) {
+        std::swap(xa[0], xb[0]);
+        std::swap(za[0], zb[0]);
+        return;
     }
+    const simd::Kernels &k = simd::active();
+    k.swapWords(xa, xb, words_);
+    k.swapWords(za, zb, words_);
 }
 
 void
@@ -320,20 +300,35 @@ PackedTableau::setRow(uint32_t r, const PauliString &p)
 }
 
 void
-PackedTableau::buildRowMask(const PauliString &p, uint64_t *mask) const
+PackedTableau::buildRowMask(const PauliString &p, uint64_t *mask,
+                            SupportIndex &idx) const
 {
     // Row 2q selects the X_q image, row 2q+1 the Z_q image; interleave
-    // p's x and z bits 32 qubits at a time.
+    // p's x and z bits 32 qubits at a time. Only source words with any
+    // support expand (the spread cascade is the expensive part), and
+    // only nonzero mask words are written + flagged — for a sparse
+    // term the whole build touches O(support words), not O(words_).
+    idx.clear();
     const auto xw = p.xWords();
     const auto zw = p.zWords();
-    for (uint32_t w = 0; w < words_; ++w) {
-        const uint32_t src = w >> 1;
-        const uint32_t shift = (w & 1) ? 32 : 0;
-        const uint64_t xchunk =
-            src < xw.size() ? (xw[src] >> shift) & 0xFFFFFFFFULL : 0;
-        const uint64_t zchunk =
-            src < zw.size() ? (zw[src] >> shift) & 0xFFFFFFFFULL : 0;
-        mask[w] = spreadBits(xchunk) | (spreadBits(zchunk) << 1);
+    for (uint32_t src = 0; src < xw.size(); ++src) {
+        const uint64_t xv = xw[src];
+        const uint64_t zv = zw[src];
+        if ((xv | zv) == 0)
+            continue;
+        for (uint32_t half = 0; half < 2; ++half) {
+            const uint32_t w = 2 * src + half;
+            if (w >= words_)
+                break;
+            const uint32_t shift = half != 0 ? 32 : 0;
+            const uint64_t m =
+                spreadBits((xv >> shift) & 0xFFFFFFFFULL) |
+                (spreadBits((zv >> shift) & 0xFFFFFFFFULL) << 1);
+            if (m != 0) {
+                mask[w] = m;
+                idx.markWord(w);
+            }
+        }
     }
 }
 
@@ -358,11 +353,11 @@ PackedTableau::conjugate(const PauliString &p) const
         mask_heap.resize(words_);
         mask = mask_heap.data();
     }
-    buildRowMask(p, mask);
+    SupportIndex idx;
+    buildRowMask(p, mask, idx);
 
     uint32_t selected = 0;
-    for (uint32_t w = 0; w < words_; ++w)
-        selected += popcnt(mask[w]);
+    idx.forEachWord([&](uint32_t w) { selected += popcnt(mask[w]); });
 
     uint64_t phase_acc = p.phase();
     for (uint32_t w = 0; w < p.numWords(); ++w)
@@ -376,8 +371,10 @@ PackedTableau::conjugate(const PauliString &p) const
 
     if (selected <= sparseConjugateRowLimit(numQubits_)) {
         // Gather/multiply path: identical to the reference row walk.
+        // The index walk visits only the occupied mask words, in the
+        // ascending order the phase accounting requires.
         PauliString result(numQubits_);
-        for (uint32_t w = 0; w < words_; ++w) {
+        idx.forEachWord([&](uint32_t w) {
             uint64_t bits = mask[w];
             while (bits) {
                 const int b = std::countr_zero(bits);
@@ -385,51 +382,44 @@ PackedTableau::conjugate(const PauliString &p) const
                 result.mulRight(
                     rowAt(64 * w + static_cast<uint32_t>(b)));
             }
-        }
+        });
         result.setPhase(
             static_cast<uint8_t>((result.phase() + phase_acc) & 3));
         return result;
     }
 
     // Dense lone conjugate: column-parallel pass with the closed-form
-    // phase. A transpose to row-major (the batch kernel) cannot win
-    // here — its fixed cost is the same O(n . W) as this whole pass —
-    // so the transpose only pays off when amortized over a batch;
+    // phase, one dispatched denseColumn kernel call per column. A
+    // transpose to row-major (the batch kernel) cannot win here — its
+    // fixed cost is the same O(n . W) as this whole pass — so the
+    // transpose only pays off when amortized over a batch;
     // conjugateBatch makes that call (see kMinBatchForTranspose).
+    // The column kernel scans every word, so materialize the zeros
+    // buildRowMask skipped (O(words_), negligible against the pass).
+    for (uint32_t w = 0; w < words_; ++w) {
+        if (!idx.hasWord(w))
+            mask[w] = 0;
+    }
+    const simd::Kernels &k = simd::active();
     PauliString result(numQubits_);
     uint32_t sign_rows = 0;  // rows contributing -1
     uint64_t y_rows = 0;     // sum of per-row |x_j & z_j|
     uint64_t y_result = 0;   // |A & B|
     uint64_t pair_fold = 0;  // XOR-fold of the per-word pair contributions
-    for (uint32_t w = 0; w < words_; ++w)
-        sign_rows += popcnt(signs_[w] & mask[w]);
+    idx.forEachWord(
+        [&](uint32_t w) { sign_rows += popcnt(signs_[w] & mask[w]); });
 
     for (uint32_t c = 0; c < numQubits_; ++c) {
-        const uint64_t *xc = &x_[c * words_];
-        const uint64_t *zc = &z_[c * words_];
-        // Bit-count parities fold across words: popcount(a) + popcount(b)
-        // == popcount(a ^ b) (mod 2), so one popcount per column covers
-        // all W words.
-        uint64_t x_fold = 0, z_fold = 0;
-        uint64_t z_run = 0; // parity (0/1) of z bits in lower words
-        for (uint32_t w = 0; w < words_; ++w) {
-            const uint64_t ux = xc[w] & mask[w];
-            const uint64_t uz = zc[w] & mask[w];
-            x_fold ^= ux;
-            z_fold ^= uz;
-            y_rows += popcnt(ux & uz);
-            // Ordered (z_j, x_l), j < l pairs: in-word via the prefix
-            // scan, cross-word via the running z parity broadcast.
-            pair_fold ^= ux & prefixParityExclusive(uz);
-            pair_fold ^= (0 - z_run) & ux;
-            z_run ^= popcnt(uz) & 1;
-        }
-        const uint8_t xbit = static_cast<uint8_t>(popcnt(x_fold) & 1);
-        const uint8_t zbit = static_cast<uint8_t>(popcnt(z_fold) & 1);
+        const simd::DenseColumnResult col = k.denseColumn(
+            &x_[c * words_], &z_[c * words_], mask, words_);
+        const uint8_t xbit = static_cast<uint8_t>(col.xParity);
+        const uint8_t zbit = static_cast<uint8_t>(col.zParity);
         if (xbit | zbit)
             result.setOp(c, static_cast<PauliOp>(
                                 static_cast<uint8_t>(xbit | (zbit << 1))));
+        y_rows += col.yCount;
         y_result += xbit & zbit;
+        pair_fold ^= col.pairFold;
     }
 
     const uint64_t pair_parity = popcnt(pair_fold) & 1;
@@ -449,13 +439,23 @@ PackedTableau::rowMajorScratch()
 void
 PackedTableau::buildRowMajor(RowMajor &out) const
 {
+    const simd::Kernels &k = simd::active();
     const uint32_t rw = wordsForColumns(numQubits_);
-    out.rowWords = rw;
+    const uint32_t rw_pad = k.padRowWords(rw);
+    const uint32_t stride = 2 * rw_pad;
     const size_t padded_rows = 64 * static_cast<size_t>(words_);
-    // No zero-fill: the tile scatter below overwrites every word (all
-    // 64 rows of every row block, all rw column blocks).
-    out.x.resize(padded_rows * rw);
-    out.z.resize(padded_rows * rw);
+    const size_t need = padded_rows * stride;
+    // The tile scatter below overwrites every meaningful word (all 64
+    // rows of every row block, all rw column blocks), so a zero-fill
+    // is only needed when the geometry changes and the padding words
+    // (which the wide row loads read but never write) could hold
+    // another layout's data.
+    if (out.xz.size() != need || out.rowWords != rw ||
+        out.rowWordsPadded != rw_pad) {
+        out.xz.assign(need, 0);
+        out.rowWords = rw;
+        out.rowWordsPadded = rw_pad;
+    }
     out.yCount.resize(2 * static_cast<size_t>(numQubits_));
 
     std::fill(out.yCount.begin(), out.yCount.end(),
@@ -479,14 +479,15 @@ PackedTableau::buildRowMajor(RowMajor &out) const
                 tile_x[j] = 0;
                 tile_z[j] = 0;
             }
-            transpose64(tile_x);
-            transpose64(tile_z);
+            k.transpose64x2(tile_x, tile_z);
             const uint32_t r0 = 64 * w;
             const uint32_t rows =
                 2 * numQubits_ - r0 < 64 ? 2 * numQubits_ - r0 : 64;
             for (uint32_t i = 0; i < 64; ++i) {
-                out.x[(static_cast<size_t>(r0) + i) * rw + cb] = tile_x[i];
-                out.z[(static_cast<size_t>(r0) + i) * rw + cb] = tile_z[i];
+                uint64_t *row =
+                    &out.xz[(static_cast<size_t>(r0) + i) * stride];
+                row[cb] = tile_x[i];
+                row[rw_pad + cb] = tile_z[i];
             }
             for (uint32_t i = 0; i < rows; ++i)
                 out.yCount[r0 + i] = static_cast<uint8_t>(
@@ -498,85 +499,44 @@ PackedTableau::buildRowMajor(RowMajor &out) const
 
 void
 PackedTableau::conjugateViaRows(const RowMajor &rm, PauliString &p,
-                                uint64_t *mask, uint64_t *acc_x,
-                                uint64_t *acc_z, uint64_t *fold) const
-{
-    switch (rm.rowWords) {
-      case 1:
-        conjugateViaRowsImpl<1>(rm, p, mask, acc_x, acc_z, fold);
-        break;
-      case 2:
-        conjugateViaRowsImpl<2>(rm, p, mask, acc_x, acc_z, fold);
-        break;
-      case 3:
-        conjugateViaRowsImpl<3>(rm, p, mask, acc_x, acc_z, fold);
-        break;
-      case 4:
-        conjugateViaRowsImpl<4>(rm, p, mask, acc_x, acc_z, fold);
-        break;
-      default:
-        conjugateViaRowsImpl<0>(rm, p, mask, acc_x, acc_z, fold);
-        break;
-    }
-}
-
-template <uint32_t RW>
-void
-PackedTableau::conjugateViaRowsImpl(const RowMajor &rm, PauliString &p,
-                                    uint64_t *mask, uint64_t *acc_x,
-                                    uint64_t *acc_z, uint64_t *fold) const
+                                uint64_t *mask, SupportIndex &idx,
+                                uint64_t *kscratch, uint64_t *out_x,
+                                uint64_t *out_z) const
 {
     assert(p.numQubits() == numQubits_);
-    assert(RW == 0 || RW == rm.rowWords);
-    buildRowMask(p, mask);
+    buildRowMask(p, mask, idx);
 
-    // Same closed form as the scalar path header comment; the ordered
+    // Same closed form as the dense path header comment; the ordered
     // (z_j, x_l) pair parity is accumulated per multiplied row l as
     // parity(Zacc & x_l) with Zacc the XOR of all earlier rows' z bits
     // (parities fold across rows and words because popcount(a ^ b) ==
-    // popcount(a) + popcount(b) mod 2).
+    // popcount(a) + popcount(b) mod 2). The row walk itself is the
+    // dispatched rowProduct kernel, which skips unoccupied mask words
+    // via the index.
     uint64_t phase_acc = p.phase();
     for (uint32_t w = 0; w < p.numWords(); ++w)
         phase_acc += popcnt(p.xWords()[w] & p.zWords()[w]); // one i per Y
 
-    const uint32_t rw = RW != 0 ? RW : rm.rowWords;
-    for (uint32_t u = 0; u < rw; ++u) {
-        acc_x[u] = 0;
-        acc_z[u] = 0;
-        fold[u] = 0;
-    }
+    const uint32_t rw = rm.rowWords;
+    simd::RowProductArgs args;
+    args.rowsXZ = rm.xz.data();
+    args.stride = 2 * rm.rowWordsPadded;
+    args.rwPad = rm.rowWordsPadded;
+    args.rw = rw;
+    args.yCount = rm.yCount.data();
+    args.signs = signs_.data();
+    args.mask = mask;
+    args.maskIndex = &idx;
+    args.scratch = kscratch;
+    args.outX = out_x;
+    args.outZ = out_z;
+    const simd::RowProductResult r = simd::active().rowProduct(args);
 
-    uint32_t sign_rows = 0; // rows contributing -1
-    uint64_t y_rows = 0;    // sum of per-row |x_j & z_j| (mod 4 at end)
-    for (uint32_t w = 0; w < words_; ++w) {
-        sign_rows += popcnt(signs_[w] & mask[w]);
-        uint64_t bits = mask[w];
-        while (bits) {
-            const uint32_t r =
-                64 * w + static_cast<uint32_t>(std::countr_zero(bits));
-            bits &= bits - 1;
-            const uint64_t *xr = &rm.x[static_cast<size_t>(r) * rw];
-            const uint64_t *zr = &rm.z[static_cast<size_t>(r) * rw];
-            for (uint32_t u = 0; u < rw; ++u) {
-                fold[u] ^= acc_z[u] & xr[u]; // ordered pairs, j < l
-                acc_x[u] ^= xr[u];
-                acc_z[u] ^= zr[u];
-            }
-            y_rows += rm.yCount[r];
-        }
-    }
-
-    uint64_t pair_fold = 0;
-    uint32_t y_result = 0; // |A & B|
-    for (uint32_t u = 0; u < rw; ++u) {
-        pair_fold ^= fold[u];
-        y_result += popcnt(acc_x[u] & acc_z[u]);
-    }
-    phase_acc += 2 * (sign_rows & 1) + y_rows +
-                 2 * (popcnt(pair_fold) & 1) +
-                 3ULL * (y_result & 3); // 3 == -1 mod 4
-    p.assignWords(std::span<const uint64_t>(acc_x, rw),
-                  std::span<const uint64_t>(acc_z, rw),
+    phase_acc += 2 * (r.signRows & 1) + r.yRows +
+                 2 * (r.pairParity & 1) +
+                 3ULL * (r.yResult & 3); // 3 == -1 mod 4
+    p.assignWords(std::span<const uint64_t>(out_x, rw),
+                  std::span<const uint64_t>(out_z, rw),
                   static_cast<uint8_t>(phase_acc & 3));
 }
 
@@ -597,15 +557,22 @@ PackedTableau::conjugateBatch(std::span<PauliString> terms,
     buildRowMajor(rm);
 
     const uint32_t rw = rm.rowWords;
+    const uint32_t rw_pad = rm.rowWordsPadded;
     const auto run = [&](size_t begin, size_t end) {
+        // Per-worker scratch: mask + kernel accumulators + result
+        // halves. The mask array is deliberately left dirty between
+        // terms — the support index tracks which words are live.
         std::vector<uint64_t> scratch(
-            static_cast<size_t>(words_) + 3 * static_cast<size_t>(rw));
+            static_cast<size_t>(words_) + 3 * static_cast<size_t>(rw_pad) +
+            2 * static_cast<size_t>(rw));
+        SupportIndex idx;
         uint64_t *mask = scratch.data();
-        uint64_t *acc_x = mask + words_;
-        uint64_t *acc_z = acc_x + rw;
-        uint64_t *fold = acc_z + rw;
+        uint64_t *kscratch = mask + words_;
+        uint64_t *out_x = kscratch + 3 * static_cast<size_t>(rw_pad);
+        uint64_t *out_z = out_x + rw;
         for (size_t i = begin; i < end; ++i)
-            conjugateViaRows(rm, terms[i], mask, acc_x, acc_z, fold);
+            conjugateViaRows(rm, terms[i], mask, idx, kscratch, out_x,
+                             out_z);
     };
     // Below this size the per-term row walks are cheaper than a pool
     // dispatch (and would needlessly spawn the lazy workers).

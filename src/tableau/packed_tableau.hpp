@@ -45,6 +45,7 @@
 
 #include "circuit/quantum_circuit.hpp"
 #include "pauli/pauli_string.hpp"
+#include "util/support_index.hpp"
 
 namespace quclear {
 
@@ -155,16 +156,18 @@ class PackedTableau
     static uint32_t wordsForColumns(uint32_t n) { return (n + 63) / 64; }
 
     /**
-     * Row-major snapshot of the bit matrix for the batch/dense
-     * conjugation kernel: 64*words_ rows (rows past 2n are zero) of
-     * rowWords words each, plus the per-row Y count (|x & z| mod 4)
-     * that enters the conjugation phase.
+     * Row-major snapshot of the bit matrix for the batch conjugation
+     * kernel: 64*words_ rows (rows past 2n are zero), each stored as
+     * [x half | z half] with both halves padded to rowWordsPadded
+     * words (padding zero) so the SIMD backends can use full-width
+     * row loads, plus the per-row Y count (|x & z| mod 4) that enters
+     * the conjugation phase. The row stride is 2 * rowWordsPadded.
      */
     struct RowMajor
     {
-        uint32_t rowWords = 0;
-        std::vector<uint64_t> x;
-        std::vector<uint64_t> z;
+        uint32_t rowWords = 0;       // meaningful words per row half
+        uint32_t rowWordsPadded = 0; // padded words per row half
+        std::vector<uint64_t> xz;
         std::vector<uint8_t> yCount;
     };
 
@@ -181,22 +184,15 @@ class PackedTableau
 
     /**
      * Conjugate @p p in place as the ordered product of its selected
-     * rows from the row-major snapshot. Scratch pointers must hold
-     * words_ (mask) and rowWords (acc_x / acc_z / fold) entries.
+     * rows from the row-major snapshot (dispatched rowProduct kernel).
+     * Scratch pointers must hold words_ (mask), 3 * rowWordsPadded
+     * (kernel scratch) and rowWords (out_x / out_z) entries; @p idx is
+     * the reusable occupancy index over the mask words.
      */
     void conjugateViaRows(const RowMajor &rm, PauliString &p,
-                          uint64_t *mask, uint64_t *acc_x, uint64_t *acc_z,
-                          uint64_t *fold) const;
-
-    /**
-     * Row-walk body with the words-per-row count as a compile-time
-     * constant when RW > 0 (so the per-row word loop fully unrolls;
-     * RW == 0 is the generic fallback above 256 qubits).
-     */
-    template <uint32_t RW>
-    void conjugateViaRowsImpl(const RowMajor &rm, PauliString &p,
-                              uint64_t *mask, uint64_t *acc_x,
-                              uint64_t *acc_z, uint64_t *fold) const;
+                          uint64_t *mask, SupportIndex &idx,
+                          uint64_t *kscratch, uint64_t *out_x,
+                          uint64_t *out_z) const;
 
     /** Materialize row r (0 <= r < 2n) as a phase-tracked PauliString. */
     PauliString rowAt(uint32_t r) const;
@@ -224,10 +220,16 @@ class PackedTableau
     }
 
     /**
-     * Row-selection mask for conjugating @p p: bit 2q = x_q, bit 2q+1 =
-     * z_q, written into @p mask (words_ entries).
+     * Row-selection mask for conjugating @p p: bit 2q = x_q, bit 2q+1
+     * = z_q. Only NONZERO mask words are written into @p mask (words_
+     * entries) and flagged in @p idx — unflagged entries of the
+     * (reusable, dirty) mask array keep stale garbage and must never
+     * be read. Consumers that need the dense array zero the unflagged
+     * words themselves; sparse walks skip them via the index, which is
+     * the point.
      */
-    void buildRowMask(const PauliString &p, uint64_t *mask) const;
+    void buildRowMask(const PauliString &p, uint64_t *mask,
+                      SupportIndex &idx) const;
 
     uint32_t numQubits_;
     uint32_t words_; // words per column (rounds 2n up to 64)

@@ -1,0 +1,782 @@
+/**
+ * @file
+ * AVX-512 backend of the SIMD kernel table: 512-bit ops, 8 tableau
+ * words per step. Requires F+BW+DQ+VL (BW for the byte-shuffle
+ * popcount, DQ for movm_epi64 lane masks); VPOPCNTDQ is deliberately
+ * not required. Tails use AVX-512VL masked 256/128-bit ops or scalar.
+ *
+ * Same confinement and bit-identicality rules as the AVX2 backend:
+ * only this TU gets -mavx512*, and every kernel reproduces the scalar
+ * XOR-fold / popcount-sum results exactly.
+ */
+#include "util/simd_kernels_internal.hpp"
+
+#if defined(QUCLEAR_SIMD_COMPILE_AVX512) && \
+    (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstdint>
+#include <utility>
+
+#include "util/support_index.hpp"
+
+namespace quclear::simd {
+
+namespace {
+
+inline uint32_t
+popcnt(uint64_t v)
+{
+    return static_cast<uint32_t>(std::popcount(v));
+}
+
+inline __m512i
+loadu(const uint64_t *p)
+{
+    return _mm512_loadu_si512(p);
+}
+
+inline void
+storeu(uint64_t *p, __m512i v)
+{
+    _mm512_storeu_si512(p, v);
+}
+
+/** Per-64-bit-lane popcount (byte-shuffle LUT + psadbw, no VPOPCNTDQ). */
+inline __m512i
+popcnt64x8(__m512i v)
+{
+    const __m512i lut = _mm512_broadcast_i32x4(_mm_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4));
+    const __m512i low = _mm512_set1_epi8(0x0F);
+    const __m512i lo = _mm512_and_si512(v, low);
+    const __m512i hi =
+        _mm512_and_si512(_mm512_srli_epi16(v, 4), low);
+    const __m512i cnt = _mm512_add_epi8(_mm512_shuffle_epi8(lut, lo),
+                                        _mm512_shuffle_epi8(lut, hi));
+    return _mm512_sad_epu8(cnt, _mm512_setzero_si512());
+}
+
+inline uint64_t
+hsum(__m512i v)
+{
+    return static_cast<uint64_t>(_mm512_reduce_add_epi64(v));
+}
+
+inline uint64_t
+hxor(__m512i v)
+{
+    const __m256i h =
+        _mm256_xor_si256(_mm512_castsi512_si256(v),
+                         _mm512_extracti64x4_epi64(v, 1));
+    const __m128i s = _mm_xor_si128(_mm256_castsi256_si128(h),
+                                    _mm256_extracti128_si256(h, 1));
+    return static_cast<uint64_t>(_mm_cvtsi128_si64(s)) ^
+           static_cast<uint64_t>(_mm_extract_epi64(s, 1));
+}
+
+void
+appendH(uint64_t *x, uint64_t *z, uint64_t *s, uint32_t n)
+{
+    uint32_t w = 0;
+    for (; w + 8 <= n; w += 8) {
+        const __m512i vx = loadu(x + w);
+        const __m512i vz = loadu(z + w);
+        storeu(s + w,
+               _mm512_xor_si512(loadu(s + w), _mm512_and_si512(vx, vz)));
+        storeu(x + w, vz);
+        storeu(z + w, vx);
+    }
+    for (; w < n; ++w) {
+        s[w] ^= x[w] & z[w];
+        std::swap(x[w], z[w]);
+    }
+}
+
+void
+appendS(uint64_t *x, uint64_t *z, uint64_t *s, uint32_t n)
+{
+    uint32_t w = 0;
+    for (; w + 8 <= n; w += 8) {
+        const __m512i vx = loadu(x + w);
+        const __m512i vz = loadu(z + w);
+        storeu(s + w,
+               _mm512_xor_si512(loadu(s + w), _mm512_and_si512(vx, vz)));
+        storeu(z + w, _mm512_xor_si512(vz, vx));
+    }
+    for (; w < n; ++w) {
+        s[w] ^= x[w] & z[w];
+        z[w] ^= x[w];
+    }
+}
+
+void
+appendSdg(uint64_t *x, uint64_t *z, uint64_t *s, uint32_t n)
+{
+    uint32_t w = 0;
+    for (; w + 8 <= n; w += 8) {
+        const __m512i vx = loadu(x + w);
+        const __m512i vz = loadu(z + w);
+        storeu(s + w, _mm512_xor_si512(loadu(s + w),
+                                       _mm512_andnot_si512(vz, vx)));
+        storeu(z + w, _mm512_xor_si512(vz, vx));
+    }
+    for (; w < n; ++w) {
+        s[w] ^= x[w] & ~z[w];
+        z[w] ^= x[w];
+    }
+}
+
+void
+appendSqrtX(uint64_t *x, uint64_t *z, uint64_t *s, uint32_t n)
+{
+    uint32_t w = 0;
+    for (; w + 8 <= n; w += 8) {
+        const __m512i vx = loadu(x + w);
+        const __m512i vz = loadu(z + w);
+        storeu(s + w, _mm512_xor_si512(loadu(s + w),
+                                       _mm512_andnot_si512(vx, vz)));
+        storeu(x + w, _mm512_xor_si512(vx, vz));
+    }
+    for (; w < n; ++w) {
+        s[w] ^= ~x[w] & z[w];
+        x[w] ^= z[w];
+    }
+}
+
+void
+appendSqrtXdg(uint64_t *x, uint64_t *z, uint64_t *s, uint32_t n)
+{
+    uint32_t w = 0;
+    for (; w + 8 <= n; w += 8) {
+        const __m512i vx = loadu(x + w);
+        const __m512i vz = loadu(z + w);
+        storeu(s + w,
+               _mm512_xor_si512(loadu(s + w), _mm512_and_si512(vx, vz)));
+        storeu(x + w, _mm512_xor_si512(vx, vz));
+    }
+    for (; w < n; ++w) {
+        s[w] ^= x[w] & z[w];
+        x[w] ^= z[w];
+    }
+}
+
+void
+appendCX(uint64_t *xc, uint64_t *zc, uint64_t *xt, uint64_t *zt,
+         uint64_t *s, uint32_t n)
+{
+    uint32_t w = 0;
+    for (; w + 8 <= n; w += 8) {
+        const __m512i vxc = loadu(xc + w);
+        const __m512i vzc = loadu(zc + w);
+        const __m512i vxt = loadu(xt + w);
+        const __m512i vzt = loadu(zt + w);
+        const __m512i flip = _mm512_andnot_si512(
+            _mm512_xor_si512(vxt, vzc), _mm512_and_si512(vxc, vzt));
+        storeu(s + w, _mm512_xor_si512(loadu(s + w), flip));
+        storeu(xt + w, _mm512_xor_si512(vxt, vxc));
+        storeu(zc + w, _mm512_xor_si512(vzc, vzt));
+    }
+    for (; w < n; ++w) {
+        s[w] ^= xc[w] & zt[w] & ~(xt[w] ^ zc[w]);
+        xt[w] ^= xc[w];
+        zc[w] ^= zt[w];
+    }
+}
+
+void
+appendCZ(uint64_t *xa, uint64_t *za, uint64_t *xb, uint64_t *zb,
+         uint64_t *s, uint32_t n)
+{
+    uint32_t w = 0;
+    for (; w + 8 <= n; w += 8) {
+        const __m512i vxa = loadu(xa + w);
+        const __m512i vza = loadu(za + w);
+        const __m512i vxb = loadu(xb + w);
+        const __m512i vzb = loadu(zb + w);
+        const __m512i flip = _mm512_and_si512(
+            _mm512_and_si512(vxa, vxb), _mm512_xor_si512(vza, vzb));
+        storeu(s + w, _mm512_xor_si512(loadu(s + w), flip));
+        storeu(za + w, _mm512_xor_si512(vza, vxb));
+        storeu(zb + w, _mm512_xor_si512(vzb, vxa));
+    }
+    for (; w < n; ++w) {
+        s[w] ^= xa[w] & xb[w] & (za[w] ^ zb[w]);
+        za[w] ^= xb[w];
+        zb[w] ^= xa[w];
+    }
+}
+
+void
+xorInto(uint64_t *dst, const uint64_t *a, uint32_t n)
+{
+    uint32_t w = 0;
+    for (; w + 8 <= n; w += 8)
+        storeu(dst + w, _mm512_xor_si512(loadu(dst + w), loadu(a + w)));
+    for (; w < n; ++w)
+        dst[w] ^= a[w];
+}
+
+void
+xorInto2(uint64_t *dst, const uint64_t *a, const uint64_t *b, uint32_t n)
+{
+    uint32_t w = 0;
+    for (; w + 8 <= n; w += 8)
+        storeu(dst + w,
+               _mm512_xor_si512(loadu(dst + w),
+                                _mm512_xor_si512(loadu(a + w),
+                                                 loadu(b + w))));
+    for (; w < n; ++w)
+        dst[w] ^= a[w] ^ b[w];
+}
+
+void
+swapWords(uint64_t *a, uint64_t *b, uint32_t n)
+{
+    uint32_t w = 0;
+    for (; w + 8 <= n; w += 8) {
+        const __m512i va = loadu(a + w);
+        const __m512i vb = loadu(b + w);
+        storeu(a + w, vb);
+        storeu(b + w, va);
+    }
+    for (; w < n; ++w)
+        std::swap(a[w], b[w]);
+}
+
+uint64_t
+popcountWords(const uint64_t *a, uint32_t n)
+{
+    __m512i acc = _mm512_setzero_si512();
+    uint32_t w = 0;
+    for (; w + 8 <= n; w += 8)
+        acc = _mm512_add_epi64(acc, popcnt64x8(loadu(a + w)));
+    uint64_t c = hsum(acc);
+    for (; w < n; ++w)
+        c += popcnt(a[w]);
+    return c;
+}
+
+uint64_t
+popcountAnd(const uint64_t *a, const uint64_t *b, uint32_t n)
+{
+    __m512i acc = _mm512_setzero_si512();
+    uint32_t w = 0;
+    for (; w + 8 <= n; w += 8)
+        acc = _mm512_add_epi64(
+            acc, popcnt64x8(_mm512_and_si512(loadu(a + w),
+                                             loadu(b + w))));
+    uint64_t c = hsum(acc);
+    for (; w < n; ++w)
+        c += popcnt(a[w] & b[w]);
+    return c;
+}
+
+uint32_t
+anticommuteParity(const uint64_t *xa, const uint64_t *za,
+                  const uint64_t *xb, const uint64_t *zb, uint32_t n)
+{
+    __m512i fold = _mm512_setzero_si512();
+    uint32_t w = 0;
+    for (; w + 8 <= n; w += 8) {
+        const __m512i t = _mm512_xor_si512(
+            _mm512_and_si512(loadu(xa + w), loadu(zb + w)),
+            _mm512_and_si512(loadu(za + w), loadu(xb + w)));
+        fold = _mm512_xor_si512(fold, t);
+    }
+    uint64_t f = hxor(fold);
+    for (; w < n; ++w)
+        f ^= (xa[w] & zb[w]) ^ (za[w] & xb[w]);
+    return popcnt(f) & 1;
+}
+
+uint32_t
+mulWords(uint64_t *xa, uint64_t *za, const uint64_t *xb,
+         const uint64_t *zb, uint32_t n)
+{
+    __m512i plus_v = _mm512_setzero_si512();
+    __m512i minus_v = _mm512_setzero_si512();
+    uint32_t w = 0;
+    for (; w + 8 <= n; w += 8) {
+        const __m512i x1 = loadu(xa + w);
+        const __m512i z1 = loadu(za + w);
+        const __m512i x2 = loadu(xb + w);
+        const __m512i z2 = loadu(zb + w);
+        const __m512i p = _mm512_or_si512(
+            _mm512_or_si512(
+                _mm512_and_si512(_mm512_andnot_si512(z1, x1),
+                                 _mm512_and_si512(x2, z2)),
+                _mm512_and_si512(_mm512_and_si512(x1, z1),
+                                 _mm512_andnot_si512(x2, z2))),
+            _mm512_and_si512(_mm512_andnot_si512(x1, z1),
+                             _mm512_andnot_si512(z2, x2)));
+        const __m512i m = _mm512_or_si512(
+            _mm512_or_si512(
+                _mm512_and_si512(_mm512_andnot_si512(z2, x2),
+                                 _mm512_and_si512(x1, z1)),
+                _mm512_and_si512(_mm512_and_si512(x2, z2),
+                                 _mm512_andnot_si512(x1, z1))),
+            _mm512_and_si512(_mm512_andnot_si512(x2, z2),
+                             _mm512_andnot_si512(z1, x1)));
+        plus_v = _mm512_add_epi64(plus_v, popcnt64x8(p));
+        minus_v = _mm512_add_epi64(minus_v, popcnt64x8(m));
+        storeu(xa + w, _mm512_xor_si512(x1, x2));
+        storeu(za + w, _mm512_xor_si512(z1, z2));
+    }
+    uint64_t plus = hsum(plus_v);
+    uint64_t minus = hsum(minus_v);
+    for (; w < n; ++w) {
+        const uint64_t x1 = xa[w], z1 = za[w];
+        const uint64_t x2 = xb[w], z2 = zb[w];
+        plus += popcnt((x1 & ~z1 & x2 & z2) | (x1 & z1 & ~x2 & z2) |
+                       (~x1 & z1 & x2 & ~z2));
+        minus += popcnt((x2 & ~z2 & x1 & z1) | (x2 & z2 & ~x1 & z1) |
+                        (~x2 & z2 & x1 & ~z1));
+        xa[w] ^= x2;
+        za[w] ^= z2;
+    }
+    return static_cast<uint32_t>((plus + 3 * (minus & 3)) & 3);
+}
+
+inline uint64_t
+prefixParityExclusiveScalar(uint64_t v)
+{
+    v ^= v << 1;
+    v ^= v << 2;
+    v ^= v << 4;
+    v ^= v << 8;
+    v ^= v << 16;
+    v ^= v << 32;
+    return v << 1;
+}
+
+inline __m512i
+prefixParityExclusive8(__m512i v)
+{
+    v = _mm512_xor_si512(v, _mm512_slli_epi64(v, 1));
+    v = _mm512_xor_si512(v, _mm512_slli_epi64(v, 2));
+    v = _mm512_xor_si512(v, _mm512_slli_epi64(v, 4));
+    v = _mm512_xor_si512(v, _mm512_slli_epi64(v, 8));
+    v = _mm512_xor_si512(v, _mm512_slli_epi64(v, 16));
+    v = _mm512_xor_si512(v, _mm512_slli_epi64(v, 32));
+    return _mm512_slli_epi64(v, 1);
+}
+
+DenseColumnResult
+denseColumn(const uint64_t *xc, const uint64_t *zc, const uint64_t *mask,
+            uint32_t n)
+{
+    __m512i xfold_v = _mm512_setzero_si512();
+    __m512i zfold_v = _mm512_setzero_si512();
+    __m512i pair_v = _mm512_setzero_si512();
+    __m512i ycnt_v = _mm512_setzero_si512();
+    uint64_t z_run = 0; // parity (0/1) of z bits in lower words
+    uint32_t w = 0;
+    for (; w + 8 <= n; w += 8) {
+        const __m512i mw = loadu(mask + w);
+        const __m512i ux = _mm512_and_si512(loadu(xc + w), mw);
+        const __m512i uz = _mm512_and_si512(loadu(zc + w), mw);
+        xfold_v = _mm512_xor_si512(xfold_v, ux);
+        zfold_v = _mm512_xor_si512(zfold_v, uz);
+        ycnt_v = _mm512_add_epi64(
+            ycnt_v, popcnt64x8(_mm512_and_si512(ux, uz)));
+        pair_v = _mm512_xor_si512(
+            pair_v, _mm512_and_si512(ux, prefixParityExclusive8(uz)));
+        // Cross-word pairs: the 8 per-lane z popcount parities become
+        // a kmask, its exclusive prefix parity (seeded with z_run)
+        // expands back to an AND mask via movm.
+        const __m512i cnt = popcnt64x8(uz);
+        const uint32_t m = static_cast<uint32_t>(
+            _mm512_test_epi64_mask(cnt, _mm512_set1_epi64(1)));
+        uint32_t pm = m ^ (m << 1);
+        pm ^= pm << 2;
+        pm ^= pm << 4;
+        const uint32_t ep =
+            ((pm << 1) & 0xFFu) ^ (z_run != 0 ? 0xFFu : 0u);
+        pair_v = _mm512_xor_si512(
+            pair_v,
+            _mm512_and_si512(
+                _mm512_movm_epi64(static_cast<__mmask8>(ep)), ux));
+        z_run ^= static_cast<uint64_t>(std::popcount(m)) & 1;
+    }
+    uint64_t x_fold = hxor(xfold_v);
+    uint64_t z_fold = hxor(zfold_v);
+    uint64_t pair_fold = hxor(pair_v);
+    uint64_t y_count = hsum(ycnt_v);
+    for (; w < n; ++w) {
+        const uint64_t ux = xc[w] & mask[w];
+        const uint64_t uz = zc[w] & mask[w];
+        x_fold ^= ux;
+        z_fold ^= uz;
+        y_count += popcnt(ux & uz);
+        pair_fold ^= ux & prefixParityExclusiveScalar(uz);
+        pair_fold ^= (0 - z_run) & ux;
+        z_run ^= popcnt(uz) & 1;
+    }
+    return { popcnt(x_fold) & 1, popcnt(z_fold) & 1,
+             static_cast<uint32_t>(y_count), pair_fold };
+}
+
+/** rw == 1: one 128-bit register holds the whole [x | z] row slot. */
+RowProductResult
+rowProduct1(const RowProductArgs &a)
+{
+    __m128i acc = _mm_setzero_si128();
+    __m128i fold = _mm_setzero_si128();
+    uint32_t sign_rows = 0;
+    uint32_t y_rows = 0;
+    a.maskIndex->forEachWord([&](uint32_t w) {
+        const uint64_t mw = a.mask[w];
+        sign_rows += popcnt(a.signs[w] & mw);
+        uint64_t bits = mw;
+        while (bits) {
+            const uint32_t r =
+                64 * w + static_cast<uint32_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            const __m128i row = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(
+                    a.rowsXZ + static_cast<size_t>(r) * a.stride));
+            const __m128i swapped = _mm_shuffle_epi32(row, 0x4E);
+            fold = _mm_xor_si128(fold, _mm_and_si128(acc, swapped));
+            acc = _mm_xor_si128(acc, row);
+            y_rows += a.yCount[r];
+        }
+    });
+    const uint64_t acc_x =
+        static_cast<uint64_t>(_mm_cvtsi128_si64(acc));
+    const uint64_t acc_z =
+        static_cast<uint64_t>(_mm_extract_epi64(acc, 1));
+    const uint64_t pf =
+        static_cast<uint64_t>(_mm_extract_epi64(fold, 1));
+    a.outX[0] = acc_x;
+    a.outZ[0] = acc_z;
+    return { sign_rows, y_rows, popcnt(pf) & 1, popcnt(acc_x & acc_z) };
+}
+
+/** rw == 2: one 256-bit register holds [x0, x1, z0, z1]. */
+RowProductResult
+rowProduct2(const RowProductArgs &a)
+{
+    __m256i acc = _mm256_setzero_si256();
+    __m256i fold = _mm256_setzero_si256();
+    uint32_t sign_rows = 0;
+    uint32_t y_rows = 0;
+    a.maskIndex->forEachWord([&](uint32_t w) {
+        const uint64_t mw = a.mask[w];
+        sign_rows += popcnt(a.signs[w] & mw);
+        uint64_t bits = mw;
+        while (bits) {
+            const uint32_t r =
+                64 * w + static_cast<uint32_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            const __m256i row = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(
+                    a.rowsXZ + static_cast<size_t>(r) * a.stride));
+            const __m256i swapped =
+                _mm256_permute4x64_epi64(row, 0x4E);
+            fold = _mm256_xor_si256(fold, _mm256_and_si256(acc, swapped));
+            acc = _mm256_xor_si256(acc, row);
+            y_rows += a.yCount[r];
+        }
+    });
+    alignas(32) uint64_t lanes[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    a.outX[0] = lanes[0];
+    a.outX[1] = lanes[1];
+    a.outZ[0] = lanes[2];
+    a.outZ[1] = lanes[3];
+    const uint32_t y_result = popcnt(lanes[0] & lanes[2]) +
+                              popcnt(lanes[1] & lanes[3]);
+    alignas(32) uint64_t flanes[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(flanes), fold);
+    return { sign_rows, y_rows, popcnt(flanes[2] ^ flanes[3]) & 1,
+             y_result };
+}
+
+/** rw == 3..4: one zmm holds [x0..x3, z0..z3] (rwPad == 4). */
+RowProductResult
+rowProduct4(const RowProductArgs &a)
+{
+    __m512i acc = _mm512_setzero_si512();
+    __m512i fold = _mm512_setzero_si512(); // lanes 4..7: accz & xr
+    uint32_t sign_rows = 0;
+    uint32_t y_rows = 0;
+    a.maskIndex->forEachWord([&](uint32_t w) {
+        const uint64_t mw = a.mask[w];
+        sign_rows += popcnt(a.signs[w] & mw);
+        uint64_t bits = mw;
+        while (bits) {
+            const uint32_t r =
+                64 * w + static_cast<uint32_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            const __m512i row =
+                loadu(a.rowsXZ + static_cast<size_t>(r) * a.stride);
+            // Swap the 256-bit halves: [z0..z3, x0..x3].
+            const __m512i swapped =
+                _mm512_shuffle_i64x2(row, row, 0x4E);
+            fold = _mm512_xor_si512(fold, _mm512_and_si512(acc, swapped));
+            acc = _mm512_xor_si512(acc, row);
+            y_rows += a.yCount[r];
+        }
+    });
+    alignas(64) uint64_t lanes[8];
+    storeu(lanes, acc);
+    uint32_t y_result = 0;
+    for (uint32_t u = 0; u < a.rw; ++u) {
+        a.outX[u] = lanes[u];
+        a.outZ[u] = lanes[u + 4];
+        y_result += popcnt(lanes[u] & lanes[u + 4]);
+    }
+    alignas(64) uint64_t flanes[8];
+    storeu(flanes, fold);
+    const uint64_t pf =
+        flanes[4] ^ flanes[5] ^ flanes[6] ^ flanes[7];
+    return { sign_rows, y_rows, popcnt(pf) & 1, y_result };
+}
+
+/** rw == 5..8: split zmm accumulators, rwPad == 8. */
+RowProductResult
+rowProduct8(const RowProductArgs &a)
+{
+    __m512i acc_x = _mm512_setzero_si512();
+    __m512i acc_z = _mm512_setzero_si512();
+    __m512i fold = _mm512_setzero_si512();
+    uint32_t sign_rows = 0;
+    uint32_t y_rows = 0;
+    a.maskIndex->forEachWord([&](uint32_t w) {
+        const uint64_t mw = a.mask[w];
+        sign_rows += popcnt(a.signs[w] & mw);
+        uint64_t bits = mw;
+        while (bits) {
+            const uint32_t r =
+                64 * w + static_cast<uint32_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            const uint64_t *xr =
+                a.rowsXZ + static_cast<size_t>(r) * a.stride;
+            const __m512i vx = loadu(xr);
+            const __m512i vz = loadu(xr + a.rwPad);
+            fold = _mm512_xor_si512(fold, _mm512_and_si512(acc_z, vx));
+            acc_x = _mm512_xor_si512(acc_x, vx);
+            acc_z = _mm512_xor_si512(acc_z, vz);
+            y_rows += a.yCount[r];
+        }
+    });
+    alignas(64) uint64_t lx[8];
+    alignas(64) uint64_t lz[8];
+    storeu(lx, acc_x);
+    storeu(lz, acc_z);
+    uint32_t y_result = 0;
+    for (uint32_t u = 0; u < a.rw; ++u) {
+        a.outX[u] = lx[u];
+        a.outZ[u] = lz[u];
+        y_result += popcnt(lx[u] & lz[u]);
+    }
+    return { sign_rows, y_rows, popcnt(hxor(fold)) & 1, y_result };
+}
+
+/** Generic path: rwPad is a multiple of 8, accumulators in scratch. */
+RowProductResult
+rowProductWide(const RowProductArgs &a)
+{
+    uint64_t *acc_x = a.scratch;
+    uint64_t *acc_z = acc_x + a.rwPad;
+    uint64_t *fold = acc_z + a.rwPad;
+    const __m512i zero = _mm512_setzero_si512();
+    for (uint32_t u = 0; u < a.rwPad; u += 8) {
+        storeu(acc_x + u, zero);
+        storeu(acc_z + u, zero);
+        storeu(fold + u, zero);
+    }
+    uint32_t sign_rows = 0;
+    uint32_t y_rows = 0;
+    a.maskIndex->forEachWord([&](uint32_t w) {
+        const uint64_t mw = a.mask[w];
+        sign_rows += popcnt(a.signs[w] & mw);
+        uint64_t bits = mw;
+        while (bits) {
+            const uint32_t r =
+                64 * w + static_cast<uint32_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            const uint64_t *xr =
+                a.rowsXZ + static_cast<size_t>(r) * a.stride;
+            const uint64_t *zr = xr + a.rwPad;
+            for (uint32_t u = 0; u < a.rwPad; u += 8) {
+                const __m512i vx = loadu(xr + u);
+                storeu(fold + u,
+                       _mm512_xor_si512(loadu(fold + u),
+                                        _mm512_and_si512(
+                                            loadu(acc_z + u), vx)));
+                storeu(acc_x + u,
+                       _mm512_xor_si512(loadu(acc_x + u), vx));
+                storeu(acc_z + u, _mm512_xor_si512(loadu(acc_z + u),
+                                                   loadu(zr + u)));
+            }
+            y_rows += a.yCount[r];
+        }
+    });
+    uint64_t pair_fold = 0;
+    uint32_t y_result = 0;
+    for (uint32_t u = 0; u < a.rw; ++u) {
+        pair_fold ^= fold[u];
+        y_result += popcnt(acc_x[u] & acc_z[u]);
+        a.outX[u] = acc_x[u];
+        a.outZ[u] = acc_z[u];
+    }
+    for (uint32_t u = a.rw; u < a.rwPad; ++u)
+        pair_fold ^= fold[u];
+    return { sign_rows, y_rows, popcnt(pair_fold) & 1, y_result };
+}
+
+RowProductResult
+rowProduct(const RowProductArgs &a)
+{
+    switch (a.rwPad) {
+      case 1:  return rowProduct1(a);
+      case 2:  return rowProduct2(a);
+      case 4:  return rowProduct4(a);
+      case 8:  return rowProduct8(a);
+      default: return rowProductWide(a);
+    }
+}
+
+uint32_t
+padRowWords(uint32_t rw)
+{
+    // 1 -> one xmm slot, 2 -> one ymm slot, 3-4 -> one zmm slot,
+    // beyond that pad each half to whole zmm vectors.
+    if (rw <= 2)
+        return rw;
+    if (rw <= 4)
+        return 4;
+    return (rw + 7) & ~7u;
+}
+
+/** Strided transpose round for J >= 8: vector pairs at distance J. */
+template <uint32_t J>
+inline void
+transposeStepWide(uint64_t a[64], uint64_t m)
+{
+    const __m512i vm = _mm512_set1_epi64(static_cast<int64_t>(m));
+    for (uint32_t base = 0; base < 64; base += 2 * J) {
+        for (uint32_t off = 0; off < J; off += 8) {
+            uint64_t *pa = a + base + off;
+            uint64_t *pb = pa + J;
+            const __m512i va = loadu(pa);
+            const __m512i vb = loadu(pb);
+            const __m512i t = _mm512_and_si512(
+                _mm512_xor_si512(_mm512_srli_epi64(va, J), vb), vm);
+            storeu(pa, _mm512_xor_si512(va, _mm512_slli_epi64(t, J)));
+            storeu(pb, _mm512_xor_si512(vb, t));
+        }
+    }
+}
+
+/**
+ * In-register rounds J=4,2,1: the partner word is J lanes away inside
+ * the zmm, so the pair swap is a lane permute and the update masks to
+ * the low lane of each pair.
+ */
+inline void
+transposeTail(uint64_t a[64])
+{
+    const __m512i m4 = _mm512_set1_epi64(0x0F0F0F0F0F0F0F0FLL);
+    const __m512i m2 = _mm512_set1_epi64(0x3333333333333333LL);
+    const __m512i m1 = _mm512_set1_epi64(0x5555555555555555LL);
+    for (uint32_t k = 0; k < 64; k += 8) {
+        __m512i v = loadu(a + k);
+        // J = 4: 256-bit halves pair.
+        __m512i sw = _mm512_shuffle_i64x2(v, v, 0x4E);
+        __m512i t = _mm512_and_si512(
+            _mm512_xor_si512(_mm512_srli_epi64(v, 4), sw), m4);
+        t = _mm512_maskz_mov_epi64(0x0F, t);
+        v = _mm512_xor_si512(
+            v, _mm512_xor_si512(_mm512_slli_epi64(t, 4),
+                                _mm512_shuffle_i64x2(t, t, 0x4E)));
+        // J = 2: adjacent 128-bit chunks pair.
+        sw = _mm512_shuffle_i64x2(v, v, 0xB1);
+        t = _mm512_and_si512(
+            _mm512_xor_si512(_mm512_srli_epi64(v, 2), sw), m2);
+        t = _mm512_maskz_mov_epi64(0x33, t);
+        v = _mm512_xor_si512(
+            v, _mm512_xor_si512(_mm512_slli_epi64(t, 2),
+                                _mm512_shuffle_i64x2(t, t, 0xB1)));
+        // J = 1: adjacent lanes pair within each 128-bit chunk.
+        sw = _mm512_shuffle_epi32(v, _MM_PERM_BADC);
+        t = _mm512_and_si512(
+            _mm512_xor_si512(_mm512_srli_epi64(v, 1), sw), m1);
+        t = _mm512_maskz_mov_epi64(0x55, t);
+        v = _mm512_xor_si512(
+            v, _mm512_xor_si512(_mm512_slli_epi64(t, 1),
+                                _mm512_shuffle_epi32(t, _MM_PERM_BADC)));
+        storeu(a + k, v);
+    }
+}
+
+inline void
+transpose64(uint64_t a[64])
+{
+    transposeStepWide<32>(a, 0x00000000FFFFFFFFULL);
+    transposeStepWide<16>(a, 0x0000FFFF0000FFFFULL);
+    transposeStepWide<8>(a, 0x00FF00FF00FF00FFULL);
+    transposeTail(a);
+}
+
+void
+transpose64x2(uint64_t *x, uint64_t *z)
+{
+    transpose64(x);
+    transpose64(z);
+}
+
+constexpr Kernels kAvx512Kernels = {
+    Level::Avx512,
+    "avx512",
+    appendH,
+    appendS,
+    appendSdg,
+    appendSqrtX,
+    appendSqrtXdg,
+    appendCX,
+    appendCZ,
+    xorInto,
+    xorInto2,
+    swapWords,
+    popcountWords,
+    popcountAnd,
+    anticommuteParity,
+    mulWords,
+    denseColumn,
+    rowProduct,
+    padRowWords,
+    transpose64x2,
+};
+
+} // namespace
+
+namespace detail {
+
+const Kernels *
+avx512KernelsOrNull()
+{
+    return &kAvx512Kernels;
+}
+
+} // namespace detail
+
+} // namespace quclear::simd
+
+#else // !QUCLEAR_SIMD_COMPILE_AVX512
+
+namespace quclear::simd::detail {
+
+const Kernels *
+avx512KernelsOrNull()
+{
+    return nullptr;
+}
+
+} // namespace quclear::simd::detail
+
+#endif

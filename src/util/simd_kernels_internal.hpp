@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Private interface between the SIMD dispatcher and its backend TUs.
+ *
+ * Both vector backend TUs are always part of the build; the CMake
+ * option QUCLEAR_SIMD only controls whether each gets its ISA compile
+ * flags (-mavx2 / -mavx512*) and the matching QUCLEAR_SIMD_COMPILE_*
+ * define. A backend compiled without its define returns nullptr here,
+ * so the dispatcher discovers at runtime which levels exist in this
+ * binary without any link-time variation.
+ */
+#ifndef QUCLEAR_UTIL_SIMD_KERNELS_INTERNAL_HPP
+#define QUCLEAR_UTIL_SIMD_KERNELS_INTERNAL_HPP
+
+#include "util/simd_dispatch.hpp"
+
+namespace quclear::simd::detail {
+
+/** The portable reference table (never null). */
+const Kernels &scalarKernelsImpl();
+
+/** AVX2 table, or nullptr when this binary was built without it. */
+const Kernels *avx2KernelsOrNull();
+
+/** AVX-512 table, or nullptr when this binary was built without it. */
+const Kernels *avx512KernelsOrNull();
+
+} // namespace quclear::simd::detail
+
+#endif // QUCLEAR_UTIL_SIMD_KERNELS_INTERNAL_HPP

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Two-level hierarchical word-occupancy bitset (a bit_tree in the
+ * imhotep sense, fixed at two levels).
+ *
+ * Tracks which words of an external bit array are nonzero so that
+ * iterate-set-bits loops can jump straight to the occupied words
+ * instead of scanning every word. Level 1 mirrors the array one bit
+ * per word; the top level mirrors level 1 one bit per level-1 word.
+ * With 64 level-1 words the index covers arrays of up to 4096 words
+ * (262144 Pauli-string qubits / 131072 tableau qubits), far beyond
+ * anything the engine instantiates.
+ *
+ * The index is designed as *reusable scratch*: clear() walks only the
+ * hierarchy (top bits -> dirty level-1 words), so resetting after a
+ * sparse use costs O(occupied), not O(capacity). Consumers that pair
+ * the index with a data array (e.g. the packed tableau's row-selection
+ * mask) exploit the same property — words never flagged are never
+ * written, never zeroed, and never read.
+ */
+#ifndef QUCLEAR_UTIL_SUPPORT_INDEX_HPP
+#define QUCLEAR_UTIL_SUPPORT_INDEX_HPP
+
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace quclear {
+
+/** Hierarchical occupancy index over up to 4096 external words. */
+class SupportIndex
+{
+  public:
+    /** Maximum number of external words the index can cover. */
+    static constexpr uint32_t kMaxWords = 64 * 64;
+
+    SupportIndex() : top_(0) { l1_.fill(0); }
+
+    /** Flag external word @p w as nonzero. */
+    void markWord(uint32_t w)
+    {
+        assert(w < kMaxWords);
+        l1_[w >> 6] |= 1ULL << (w & 63);
+        top_ |= 1ULL << (w >> 6);
+    }
+
+    /** True iff external word @p w has been flagged. */
+    bool hasWord(uint32_t w) const
+    {
+        assert(w < kMaxWords);
+        return (l1_[w >> 6] >> (w & 63)) & 1;
+    }
+
+    /** True iff no word is flagged. */
+    bool empty() const { return top_ == 0; }
+
+    /**
+     * Reset to empty by walking the hierarchy: only level-1 words that
+     * were actually dirtied are touched (the bit_tree clear idiom).
+     */
+    void clear()
+    {
+        uint64_t t = top_;
+        while (t) {
+            l1_[static_cast<uint32_t>(std::countr_zero(t))] = 0;
+            t &= t - 1;
+        }
+        top_ = 0;
+    }
+
+    /**
+     * Visit every flagged word index in ascending order. Ascending
+     * order is load-bearing for the conjugation row walks: selected
+     * tableau rows must multiply in ascending interleaved row order
+     * for the phases to come out right.
+     */
+    template <typename Fn>
+    void forEachWord(Fn &&fn) const
+    {
+        uint64_t t = top_;
+        while (t) {
+            const uint32_t j = static_cast<uint32_t>(std::countr_zero(t));
+            t &= t - 1;
+            uint64_t bits = l1_[j];
+            while (bits) {
+                const uint32_t b =
+                    static_cast<uint32_t>(std::countr_zero(bits));
+                bits &= bits - 1;
+                fn(64 * j + b);
+            }
+        }
+    }
+
+    /** Number of flagged words. */
+    uint32_t count() const
+    {
+        uint32_t c = 0;
+        uint64_t t = top_;
+        while (t) {
+            c += static_cast<uint32_t>(
+                std::popcount(l1_[static_cast<uint32_t>(std::countr_zero(t))]));
+            t &= t - 1;
+        }
+        return c;
+    }
+
+  private:
+    uint64_t top_;
+    std::array<uint64_t, 64> l1_;
+};
+
+} // namespace quclear
+
+#endif // QUCLEAR_UTIL_SUPPORT_INDEX_HPP
