@@ -98,7 +98,7 @@ writeStats(JsonValue &group, const CircuitStats &stats, size_t gates)
 void
 writeNoiseGroup(JsonValue &results, const JobRequest &request,
                 const QuantumCircuit *input,
-                const CompiledProgram &program)
+                const CompiledProgram &program, uint32_t scheduler_workers)
 {
     const JobNoiseSpec &spec = request.noise;
     NoiseModel model;
@@ -134,10 +134,12 @@ writeNoiseGroup(JsonValue &results, const JobRequest &request,
     // stabilizer state. The resulting degradation is exactly what
     // executing the tail on hardware would cost — the quantity
     // Clifford Absorption saves (docs/SERVICE.md).
-    Rng rng(spec.seed);
+    NoiseModel::SamplerOptions sampler;
+    sampler.seed = spec.seed;
+    sampler.threads = clampJobThreads(request.threads, scheduler_workers);
     const auto mc = model.noisyStabilizerExpectation(
         program.extraction.extractedClifford, observable,
-        static_cast<size_t>(spec.shots), rng);
+        static_cast<size_t>(spec.shots), sampler);
     noise["observable"] = spec.observable;
     noise["shots"] = spec.shots;
     noise["seed"] = spec.seed;
@@ -193,7 +195,8 @@ runJobLineOrThrow(const JobRequest &request, uint64_t seq,
     if (request.noise.enabled) {
         const QuantumCircuit *input =
             request.source == JobSource::Benchmark ? nullptr : &circuit;
-        writeNoiseGroup(results, request, input, program);
+        writeNoiseGroup(results, request, input, program,
+                        scheduler_workers);
     }
     return compactResultLine(doc);
 }

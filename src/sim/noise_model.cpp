@@ -1,24 +1,43 @@
 #include "sim/noise_model.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <vector>
 
-#include "tableau/stabilizer_simulator.hpp"
+#include "util/worker_pool.hpp"
 
 namespace quclear {
 
 namespace {
 
-/** Inject a sampled Pauli fault as a gate on the simulator. */
-void
-applyPauliFault(StabilizerSimulator &sim, PauliOp fault, uint32_t q)
+/** The observable's letters at a fault site, pulled back through every
+ *  later gate (identity = 0 in the x | z<<1 code). */
+struct SiteLetters
 {
-    switch (fault) {
-      case PauliOp::X: sim.applyGate({ GateType::X, q }); break;
-      case PauliOp::Y: sim.applyGate({ GateType::Y, q }); break;
-      case PauliOp::Z: sim.applyGate({ GateType::Z, q }); break;
-      case PauliOp::I: break;
-    }
+    uint8_t twoQubit;
+    uint8_t l0;
+    uint8_t l1;
+};
+
+/** Inverse of a Clifford gate (all are self-inverse except the
+ *  quarter-turns, which inverseType transposes). */
+Gate
+inverseGate(const Gate &g)
+{
+    Gate inv = g;
+    inv.type = inverseType(g.type);
+    return inv;
+}
+
+/** 1 iff the fault letter flips the trajectory sign at this site:
+ *  both letters non-identity and different anticommute. */
+inline unsigned
+flipsSign(PauliOp fault, uint8_t site_letter)
+{
+    const auto f = static_cast<uint8_t>(fault);
+    return static_cast<unsigned>(f != 0 && site_letter != 0 &&
+                                 f != site_letter);
 }
 
 } // namespace
@@ -81,36 +100,140 @@ NoiseModel::sampleTwoQubitError(Rng &rng) const
     return { kLetter[k & 3], kLetter[k >> 2] };
 }
 
+uint64_t
+NoiseModel::shotSeed(uint64_t seed, uint64_t shot)
+{
+    // SplitMix64 finalizer over a golden-ratio counter stride: the
+    // same seeding recipe Rng's constructor expands states with, so
+    // per-shot streams are decorrelated even for adjacent shots.
+    uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (shot + 1);
+    z ^= z >> 30;
+    z *= 0xBF58476D1CE4E5B9ULL;
+    z ^= z >> 27;
+    z *= 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    return z;
+}
+
 NoiseModel::NoisySimResult
 NoiseModel::noisyStabilizerExpectation(const QuantumCircuit &qc,
                                        const PauliString &observable,
                                        size_t shots, Rng &rng) const
 {
+    SamplerOptions options;
+    options.seed = rng();
+    return noisyStabilizerExpectation(qc, observable, shots, options);
+}
+
+NoiseModel::NoisySimResult
+NoiseModel::noisyStabilizerExpectation(const QuantumCircuit &qc,
+                                       const PauliString &observable,
+                                       size_t shots,
+                                       const SamplerOptions &options) const
+{
     assert(qc.isClifford() &&
            "noisy stabilizer simulation needs a Clifford circuit");
+    assert(observable.numQubits() == qc.numQubits());
+    assert((observable.phase() & 1) == 0 &&
+           "noisy expectation needs a Hermitian observable");
     NoisySimResult result;
-    double total = 0.0;
-    for (size_t shot = 0; shot < shots; ++shot) {
-        StabilizerSimulator sim(qc.numQubits());
-        for (const Gate &g : qc.gates()) {
-            sim.applyGate(g);
-            ++result.faultSites;
-            if (isTwoQubit(g.type)) {
-                const auto [fault0, fault1] = sampleTwoQubitError(rng);
-                applyPauliFault(sim, fault0, g.q0);
-                applyPauliFault(sim, fault1, g.q1);
-                if (fault0 != PauliOp::I || fault1 != PauliOp::I)
-                    ++result.errorEvents;
-            } else {
-                const PauliOp fault = sampleSingleQubitError(rng);
-                applyPauliFault(sim, fault, g.q0);
-                if (fault != PauliOp::I)
-                    ++result.errorEvents;
-            }
-        }
-        total += sim.expectation(observable);
+    result.faultSites = shots * qc.gates().size();
+    if (shots == 0)
+        return result;
+
+    // Heisenberg fault pull-back: conjugate the observable backwards
+    // through the circuit once, recording its letters at every fault
+    // site (= after every gate). A sampled fault F at site j commutes
+    // or anticommutes with the pulled-back observable O_j, so the
+    // trajectory's expectation is the ideal value times (-1)^k with k
+    // the number of anticommuting faults — no per-shot simulation.
+    const auto &gates = qc.gates();
+    std::vector<SiteLetters> sites(gates.size());
+    PauliString pulled = observable;
+    for (size_t j = gates.size(); j-- > 0;) {
+        const Gate &g = gates[j];
+        SiteLetters &site = sites[j];
+        site.twoQubit = isTwoQubit(g.type) ? 1 : 0;
+        site.l0 = static_cast<uint8_t>(
+            static_cast<uint8_t>(pulled.xBit(g.q0)) |
+            (static_cast<uint8_t>(pulled.zBit(g.q0)) << 1));
+        site.l1 = site.twoQubit
+                      ? static_cast<uint8_t>(
+                            static_cast<uint8_t>(pulled.xBit(g.q1)) |
+                            (static_cast<uint8_t>(pulled.zBit(g.q1)) << 1))
+                      : 0;
+        applyGateToPauli(pulled, inverseGate(g));
     }
-    result.expectation = shots > 0 ? total / static_cast<double>(shots) : 0.0;
+
+    // Ideal expectation = <0...0| U~ O U |0...0>: zero if the fully
+    // pulled-back observable has any X/Y, else its (real) sign.
+    int ideal = 0;
+    uint64_t any_x = 0;
+    for (const uint64_t w : pulled.xWords())
+        any_x |= w;
+    if (any_x == 0) {
+        assert(pulled.phase() == 0 || pulled.phase() == 2);
+        ideal = pulled.phase() == 0 ? 1 : -1;
+    }
+
+    const size_t block = options.shotBlock > 0 ? options.shotBlock : 1;
+    const size_t num_blocks = (shots + block - 1) / block;
+    std::vector<int64_t> block_sum(num_blocks, 0);
+    std::vector<size_t> block_events(num_blocks, 0);
+
+    const auto run_blocks = [&](size_t begin, size_t end) {
+        for (size_t b = begin; b < end; ++b) {
+            const size_t first = b * block;
+            const size_t last = std::min(shots, first + block);
+            int64_t sum = 0;
+            size_t events = 0;
+            for (size_t shot = first; shot < last; ++shot) {
+                Rng rng(shotSeed(options.seed, shot));
+                unsigned flips = 0;
+                for (const SiteLetters &site : sites) {
+                    if (site.twoQubit) {
+                        const auto [f0, f1] = sampleTwoQubitError(rng);
+                        if (f0 != PauliOp::I || f1 != PauliOp::I) {
+                            ++events;
+                            flips ^= flipsSign(f0, site.l0) ^
+                                     flipsSign(f1, site.l1);
+                        }
+                    } else {
+                        const PauliOp f = sampleSingleQubitError(rng);
+                        if (f != PauliOp::I) {
+                            ++events;
+                            flips ^= flipsSign(f, site.l0);
+                        }
+                    }
+                }
+                sum += flips ? -1 : 1;
+            }
+            block_sum[b] = sum;
+            block_events[b] = events;
+        }
+    };
+
+    if (options.pool != nullptr) {
+        options.pool->parallelFor(num_blocks, run_blocks);
+    } else if (options.threads != 1) {
+        WorkerPool pool(options.threads);
+        pool.parallelFor(num_blocks, run_blocks);
+    } else {
+        run_blocks(0, num_blocks);
+    }
+
+    // Exact integer combine in block order: bit-identical for every
+    // threads / shotBlock split of the same shot set.
+    int64_t signed_total = 0;
+    for (size_t b = 0; b < num_blocks; ++b) {
+        signed_total += block_sum[b];
+        result.errorEvents += block_events[b];
+    }
+    result.expectation =
+        ideal == 0 ? 0.0
+                   : static_cast<double>(ideal) *
+                         (static_cast<double>(signed_total) /
+                          static_cast<double>(shots));
     return result;
 }
 

@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 
 #include "circuit/quantum_circuit.hpp"
@@ -22,6 +23,8 @@
 #include "util/rng.hpp"
 
 namespace quclear {
+
+class WorkerPool;
 
 /** Per-gate depolarizing error rates (defaults ~ current superconducting
  *  hardware: 0.03% per 1q gate, 0.5% per 2q gate). */
@@ -76,16 +79,65 @@ struct NoiseModel
         size_t faultSites = 0;
     };
 
+    /** Shot batching and parallelism knobs of the Monte-Carlo sampler. */
+    struct SamplerOptions
+    {
+        /** Master seed; shot s draws from Rng(shotSeed(seed, s)). */
+        uint64_t seed = 1;
+
+        /** Worker threads for the shot blocks: 0 = hardware
+         *  concurrency, 1 = inline (no pool), N = exactly N. Ignored
+         *  when @ref pool is set. */
+        uint32_t threads = 1;
+
+        /** Shots per block (a block is the unit of parallel work and
+         *  of result combination; the combine is an exact integer sum
+         *  in block order, so results are bit-identical for every
+         *  threads / shotBlock choice). */
+        size_t shotBlock = 1024;
+
+        /** Replay blocks on this shared pool instead of a private one
+         *  (the service scheduler path). */
+        WorkerPool *pool = nullptr;
+    };
+
+    /**
+     * Per-shot counter-based RNG stream: a SplitMix64 finalizer over
+     * the master seed and shot index. Every shot's stream is
+     * reproducible in isolation — the differential replay oracle in
+     * tests/test_noise_model.cpp re-simulates single shots with
+     * Rng(shotSeed(seed, shot)) and must land on the batched result.
+     */
+    static uint64_t shotSeed(uint64_t seed, uint64_t shot);
+
     /**
      * Shot-averaged expectation of @p observable on @p qc with a
      * sampled Pauli fault injected after every gate (depolarizing
      * channels above). The circuit must be Clifford; every trajectory
      * then stays a stabilizer state, so each shot is polynomial.
      * Deterministic for a fixed @p rng seed.
+     *
+     * Draws one value from @p rng for the master seed and delegates to
+     * the batched overload below (single-threaded).
      */
     NoisySimResult noisyStabilizerExpectation(const QuantumCircuit &qc,
                                               const PauliString &observable,
                                               size_t shots, Rng &rng) const;
+
+    /**
+     * Batched Monte-Carlo sampler. Instead of re-simulating the
+     * Clifford circuit per shot, the observable is pulled back through
+     * the circuit once (Heisenberg picture): the trajectory value is
+     * the ideal expectation times (-1)^k where k counts sampled faults
+     * that anticommute with the pulled-back observable at their site.
+     * A shot is then a pass over the per-gate fault channels — no
+     * simulator state at all — and shots are replayed in independent
+     * blocks (see SamplerOptions) with per-shot counter-based RNG
+     * streams, so the result is bit-identical for every thread count.
+     */
+    NoisySimResult noisyStabilizerExpectation(
+        const QuantumCircuit &qc, const PauliString &observable,
+        size_t shots, const SamplerOptions &options) const;
 };
 
 } // namespace quclear

@@ -1,13 +1,26 @@
 /**
  * @file
- * Aaronson-Gottesman stabilizer state simulator.
+ * Bit-sliced Aaronson-Gottesman stabilizer state simulator.
  *
- * Simulates Clifford circuits in polynomial time (Gottesman-Knill), which
- * is the classical capability Clifford Absorption exploits: the extracted
- * subcircuit U_CL never needs to run on quantum hardware. The simulator is
- * used by tests to cross-check the probability post-processing of CA-Post
- * and by examples to sample Clifford tails at sizes far beyond dense
- * statevector reach.
+ * Simulates Clifford circuits in polynomial time (Gottesman-Knill),
+ * which is the classical capability Clifford Absorption exploits: the
+ * extracted subcircuit U_CL never needs to run on quantum hardware.
+ *
+ * The state is stored column-major with the PackedTableau interleaving
+ * convention: for each qubit column c, the x and z bits of all 2n
+ * generator rows — row 2i is destabilizer i, row 2i+1 stabilizer i —
+ * are packed into ceil(2n/64) contiguous 64-bit words, plus one sign
+ * bit per row (generators are Hermitian). Gate application touches
+ * only the 1-2 affected columns through the dispatched SIMD kernel
+ * table (O(2n/64) word ops instead of the row-major reference's O(n)
+ * PauliString walks), measurement collapse is the broadcast row-sum
+ * kernel over the anticommuting-row mask, and deterministic outcomes
+ * read the closed-form product phase off the denseColumn kernel.
+ *
+ * RNG consumption is identical to ReferenceStabilizerSimulator (one
+ * draw per random-outcome measurement, nothing else), so seeded runs
+ * of the two simulators produce bit-identical outcomes — the
+ * cross-check contract of tests/test_stabilizer_packed.cpp.
  */
 #ifndef QUCLEAR_TABLEAU_STABILIZER_SIMULATOR_HPP
 #define QUCLEAR_TABLEAU_STABILIZER_SIMULATOR_HPP
@@ -25,6 +38,8 @@ namespace quclear {
 /**
  * Stabilizer state over n qubits, initialized to |0...0>. Supports all
  * Clifford gates of the IR and single-qubit Z-basis measurement.
+ * Instances are not thread-safe (measurement shares per-instance
+ * scratch planes); use one simulator per thread.
  */
 class StabilizerSimulator
 {
@@ -74,10 +89,67 @@ class StabilizerSimulator
     /** Reset qubit q to |0> (measure, then flip if needed). */
     void reset(uint32_t q, Rng &rng);
 
+    /** @name Generator access for cross-check suites (materialized
+     * from the bit-sliced columns; row 2i / 2i+1 convention). @{ */
+    PauliString destabilizer(uint32_t i) const { return rowAt(2 * i); }
+    PauliString stabilizer(uint32_t i) const { return rowAt(2 * i + 1); }
+    /** @} */
+
   private:
+    /** Words per column: ceil(2n / 64). */
+    static uint32_t wordsForRows(uint32_t n) { return (2 * n + 63) / 64; }
+
+    /** Materialize row r (0 <= r < 2n) as a phase-tracked PauliString. */
+    PauliString rowAt(uint32_t r) const;
+
+    /**
+     * Multiply every row selected by @p mask (which must exclude the
+     * pivot pair) on the right by row @p source_row, signs included —
+     * the whole-selection Aaronson-Gottesman rowsum, one dispatched
+     * rowsumColumn call per non-identity column of the source row.
+     */
+    void multiplyMaskedByRow(uint32_t source_row, const uint64_t *mask,
+                             uint64_t *acc0, uint64_t *acc1);
+
+    /**
+     * Phase exponent (i^k) of the ordered product of the rows selected
+     * by @p mask, ascending interleaved row order — the closed form of
+     * PackedTableau::conjugate evaluated with the denseColumn kernel.
+     * When @p expect is non-null, debug builds assert the product's
+     * letters equal it.
+     */
+    uint8_t selectedProductPhase(const uint64_t *mask,
+                                 const PauliString *expect) const;
+
+    /**
+     * Per-row anticommutation-parity plane of @p observable into
+     * @p parity (words_ words, overwritten): bit r is set iff row r
+     * anticommutes with the observable.
+     */
+    void anticommuteParityPlane(const PauliString &observable,
+                                uint64_t *parity) const;
+
+    /**
+     * Collapse bookkeeping after multiplyMaskedByRow: copy the pivot
+     * stabilizer row onto its destabilizer (rows pivot_row -> pivot_row
+     * - 1), clear the stabilizer row's bits, and set its sign to
+     * @p new_sign. The caller then writes the post-measurement
+     * stabilizer's letters.
+     */
+    void collapseAtPivot(uint32_t pivot_row, bool new_sign);
+
+    /** Scratch planes (3 * words_), lazily sized; see scratch() uses. */
+    uint64_t *scratchPlanes() const;
+
     uint32_t numQubits_;
-    std::vector<PauliString> destab_;
-    std::vector<PauliString> stab_;
+    uint32_t words_; // words per column (rounds 2n up to 64)
+    std::vector<uint64_t> x_;     // x bits, column-major: x_[c*words_ + w]
+    std::vector<uint64_t> z_;     // z bits, column-major
+    std::vector<uint64_t> signs_; // one sign bit per row
+
+    /** Measurement scratch (mask + 2 phase planes); per-instance, so
+     *  the simulator is single-thread-use like the reference. */
+    mutable std::vector<uint64_t> scratch_;
 };
 
 } // namespace quclear

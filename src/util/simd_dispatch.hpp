@@ -141,6 +141,21 @@ struct Kernels
                                      const uint64_t *mask, uint32_t n);
 
     /**
+     * One column of the broadcast row-sum backing measurement collapse
+     * (the Aaronson-Gottesman "rowsum" over a whole selection at
+     * once): every row selected by @p mask is multiplied on the right
+     * by the broadcast letter (@p bx, @p bz) of this column. The
+     * column bits update in place and each selected row's i-exponent
+     * contribution (the per-qubit mulWords tally with the second
+     * operand fixed) is added mod 4 into the carry-save phase planes
+     * @p acc0 (low bit) / @p acc1 (high bit). An identity broadcast
+     * (bx == bz == 0) is a no-op.
+     */
+    void (*rowsumColumn)(uint64_t *xc, uint64_t *zc,
+                         const uint64_t *mask, uint32_t bx, uint32_t bz,
+                         uint64_t *acc0, uint64_t *acc1, uint32_t n);
+
+    /**
      * The batch conjugation inner kernel: walk the selected rows (via
      * the mask index — unflagged words are skipped entirely, the
      * hierarchical sparse-support payoff) in ascending order,

@@ -419,6 +419,90 @@ denseColumn(const uint64_t *xc, const uint64_t *zc, const uint64_t *mask,
              static_cast<uint32_t>(y_count), pair_fold };
 }
 
+/** Broadcast row-sum column update (see the scalar backend), 8 words
+ *  per step with the compile-time broadcast letter specializing the
+ *  +-i case masks; the carry-save add is a ternlog-friendly XOR/AND
+ *  chain. */
+template <bool BX, bool BZ>
+void
+rowsumColumnImpl(uint64_t *xc, uint64_t *zc, const uint64_t *mask,
+                 uint64_t *acc0, uint64_t *acc1, uint32_t n)
+{
+    uint32_t w = 0;
+    for (; w + 8 <= n; w += 8) {
+        const __m512i m = loadu(mask + w);
+        const __m512i x1 = loadu(xc + w);
+        const __m512i z1 = loadu(zc + w);
+        __m512i plus, minus;
+        if (BX && BZ) {  // . Y: X -> +i, Z -> -i
+            plus = _mm512_andnot_si512(z1, x1);
+            minus = _mm512_andnot_si512(x1, z1);
+        } else if (BX) { // . X: Z -> +i, Y -> -i
+            plus = _mm512_andnot_si512(x1, z1);
+            minus = _mm512_and_si512(x1, z1);
+        } else {         // . Z: Y -> +i, X -> -i
+            plus = _mm512_and_si512(x1, z1);
+            minus = _mm512_andnot_si512(z1, x1);
+        }
+        plus = _mm512_and_si512(plus, m);
+        minus = _mm512_and_si512(minus, m);
+        __m512i a0 = loadu(acc0 + w);
+        __m512i a1 = loadu(acc1 + w);
+        __m512i carry = _mm512_and_si512(a0, plus);
+        a0 = _mm512_xor_si512(a0, plus);
+        a1 = _mm512_xor_si512(a1, _mm512_xor_si512(carry, minus));
+        carry = _mm512_and_si512(a0, minus);
+        a0 = _mm512_xor_si512(a0, minus);
+        a1 = _mm512_xor_si512(a1, carry);
+        storeu(acc0 + w, a0);
+        storeu(acc1 + w, a1);
+        if (BX)
+            storeu(xc + w, _mm512_xor_si512(x1, m));
+        if (BZ)
+            storeu(zc + w, _mm512_xor_si512(z1, m));
+    }
+    for (; w < n; ++w) {
+        const uint64_t m = mask[w];
+        const uint64_t x1 = xc[w], z1 = zc[w];
+        uint64_t plus, minus;
+        if (BX && BZ) {
+            plus = x1 & ~z1;
+            minus = ~x1 & z1;
+        } else if (BX) {
+            plus = ~x1 & z1;
+            minus = x1 & z1;
+        } else {
+            plus = x1 & z1;
+            minus = x1 & ~z1;
+        }
+        plus &= m;
+        minus &= m;
+        uint64_t carry = acc0[w] & plus;
+        acc0[w] ^= plus;
+        acc1[w] ^= carry ^ minus;
+        carry = acc0[w] & minus;
+        acc0[w] ^= minus;
+        acc1[w] ^= carry;
+        if (BX)
+            xc[w] ^= m;
+        if (BZ)
+            zc[w] ^= m;
+    }
+}
+
+void
+rowsumColumn(uint64_t *xc, uint64_t *zc, const uint64_t *mask,
+             uint32_t bx, uint32_t bz, uint64_t *acc0, uint64_t *acc1,
+             uint32_t n)
+{
+    if (bx != 0 && bz != 0)
+        rowsumColumnImpl<true, true>(xc, zc, mask, acc0, acc1, n);
+    else if (bx != 0)
+        rowsumColumnImpl<true, false>(xc, zc, mask, acc0, acc1, n);
+    else if (bz != 0)
+        rowsumColumnImpl<false, true>(xc, zc, mask, acc0, acc1, n);
+}
+
 /** rw == 1: one 128-bit register holds the whole [x | z] row slot. */
 RowProductResult
 rowProduct1(const RowProductArgs &a)
@@ -748,6 +832,7 @@ constexpr Kernels kAvx512Kernels = {
     anticommuteParity,
     mulWords,
     denseColumn,
+    rowsumColumn,
     rowProduct,
     padRowWords,
     transpose64x2,

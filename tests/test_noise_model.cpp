@@ -10,11 +10,14 @@
 
 #include <array>
 #include <cmath>
+#include <vector>
 
 #include "sim/noise_model.hpp"
+#include "tableau/reference_stabilizer_simulator.hpp"
 #include "tableau/stabilizer_simulator.hpp"
 #include "test_support.hpp"
 #include "util/rng.hpp"
+#include "util/worker_pool.hpp"
 
 namespace quclear {
 namespace {
@@ -212,6 +215,181 @@ TEST(NoiseModelTest, NoisyVsIdealDeltaBoundedOnRandomCliffords)
         EXPECT_NEAR(result.expectation,
                     static_cast<double>(ideal.expectation(obs)),
                     2.0 * budget + 0.05)
+            << "trial " << trial;
+    }
+}
+
+TEST(NoiseModelTest, BatchedSamplerBitIdenticalAcrossThreadGrid)
+{
+    NoiseModel noise;
+    noise.singleQubitError = 0.04;
+    noise.twoQubitError = 0.09;
+
+    Rng circuit_rng(909);
+    const uint32_t n = 5;
+    const QuantumCircuit qc = randomCliffordCircuit(n, 40, circuit_rng);
+    const PauliString obs = PauliString::fromLabel("ZXIYZ");
+    const size_t shots = 4096;
+
+    NoiseModel::SamplerOptions baseline;
+    baseline.seed = 0xC0FFEEULL;
+    baseline.threads = 1;
+    baseline.shotBlock = 1024;
+    const auto expected =
+        noise.noisyStabilizerExpectation(qc, obs, shots, baseline);
+    EXPECT_EQ(expected.faultSites, shots * qc.size());
+    EXPECT_GT(expected.errorEvents, 0u);
+
+    // Every split of the same shot set must reproduce the scalar run
+    // bit-for-bit: the combine is exact integer arithmetic in block
+    // order, independent of which worker ran which block.
+    for (const uint32_t threads : { 0u, 1u, 2u, 3u, 4u, 8u }) {
+        for (const size_t shot_block : { size_t{1}, size_t{7},
+                                         size_t{64}, size_t{1000},
+                                         size_t{4096}, size_t{9999} }) {
+            NoiseModel::SamplerOptions options;
+            options.seed = baseline.seed;
+            options.threads = threads;
+            options.shotBlock = shot_block;
+            const auto got =
+                noise.noisyStabilizerExpectation(qc, obs, shots, options);
+            EXPECT_EQ(got.expectation, expected.expectation)
+                << "threads=" << threads << " block=" << shot_block;
+            EXPECT_EQ(got.errorEvents, expected.errorEvents)
+                << "threads=" << threads << " block=" << shot_block;
+            EXPECT_EQ(got.faultSites, expected.faultSites);
+        }
+    }
+
+    // A caller-owned pool must give the same answer as sampler-owned
+    // threads (this is the path the compilation service exercises).
+    WorkerPool pool(4);
+    NoiseModel::SamplerOptions pooled;
+    pooled.seed = baseline.seed;
+    pooled.shotBlock = 128;
+    pooled.pool = &pool;
+    const auto via_pool =
+        noise.noisyStabilizerExpectation(qc, obs, shots, pooled);
+    EXPECT_EQ(via_pool.expectation, expected.expectation);
+    EXPECT_EQ(via_pool.errorEvents, expected.errorEvents);
+
+    // A different master seed must actually change the sampled faults;
+    // otherwise the grid above would pass vacuously.
+    NoiseModel::SamplerOptions reseeded = baseline;
+    reseeded.seed = baseline.seed + 1;
+    const auto other =
+        noise.noisyStabilizerExpectation(qc, obs, shots, reseeded);
+    EXPECT_NE(other.errorEvents, expected.errorEvents);
+}
+
+TEST(NoiseModelTest, LegacyRngOverloadIsDeterministicAndDelegates)
+{
+    NoiseModel noise;
+    noise.singleQubitError = 0.03;
+    noise.twoQubitError = 0.07;
+
+    Rng circuit_rng(4242);
+    const QuantumCircuit qc = randomCliffordCircuit(4, 32, circuit_rng);
+    const PauliString obs = PauliString::fromLabel("XZYI");
+    const size_t shots = 2048;
+
+    // Two identically-seeded generators must give identical results.
+    Rng rng_a(31337);
+    Rng rng_b(31337);
+    const auto res_a = noise.noisyStabilizerExpectation(qc, obs, shots, rng_a);
+    const auto res_b = noise.noisyStabilizerExpectation(qc, obs, shots, rng_b);
+    EXPECT_EQ(res_a.expectation, res_b.expectation);
+    EXPECT_EQ(res_a.errorEvents, res_b.errorEvents);
+    EXPECT_EQ(res_a.faultSites, res_b.faultSites);
+
+    // The overload consumes exactly one draw to derive the master seed
+    // and hands off to the batched sampler; reproducing that by hand
+    // must match bit-for-bit.
+    Rng rng_c(31337);
+    NoiseModel::SamplerOptions options;
+    options.seed = rng_c();
+    const auto res_c =
+        noise.noisyStabilizerExpectation(qc, obs, shots, options);
+    EXPECT_EQ(res_c.expectation, res_a.expectation);
+    EXPECT_EQ(res_c.errorEvents, res_a.errorEvents);
+
+    // Both callers left their generator at the same stream position.
+    Rng rng_d(31337);
+    (void)rng_d();
+    EXPECT_EQ(rng_a(), rng_d());
+}
+
+/**
+ * Differential replay oracle: re-run every shot the slow way — apply
+ * each gate to a reference stabilizer simulator, then sample the fault
+ * channel with the shot's counter-based stream in the exact draw order
+ * the batched sampler uses and inject the fault as explicit X/Y/Z
+ * gates. The per-shot expectations must average to the batched
+ * sampler's Heisenberg pull-back answer bit-for-bit.
+ */
+TEST(NoiseModelTest, BatchedSamplerMatchesPerShotReplayOracle)
+{
+    const auto pauliGateType = [](PauliOp op) {
+        switch (op) {
+          case PauliOp::X: return GateType::X;
+          case PauliOp::Y: return GateType::Y;
+          default: return GateType::Z;
+        }
+    };
+
+    NoiseModel noise;
+    noise.singleQubitError = 0.05;
+    noise.twoQubitError = 0.11;
+
+    Rng trial_rng(606060);
+    for (int trial = 0; trial < 4; ++trial) {
+        const uint32_t n = 4;
+        const QuantumCircuit qc = randomCliffordCircuit(n, 28, trial_rng);
+        PauliString obs(n);
+        for (uint32_t q = 0; q < n; ++q)
+            obs.setOp(q, static_cast<PauliOp>(trial_rng.uniformInt(4)));
+        if (obs.isIdentity())
+            obs.setOp(trial % n, PauliOp::Y);
+
+        const size_t shots = 600;
+        const uint64_t master = 5150 + static_cast<uint64_t>(trial);
+
+        NoiseModel::SamplerOptions options;
+        options.seed = master;
+        options.threads = 2;
+        options.shotBlock = 64;
+        const auto batched =
+            noise.noisyStabilizerExpectation(qc, obs, shots, options);
+
+        int64_t replay_sum = 0;
+        size_t replay_events = 0;
+        for (size_t shot = 0; shot < shots; ++shot) {
+            Rng shot_rng(NoiseModel::shotSeed(master, shot));
+            ReferenceStabilizerSimulator sim(n);
+            for (const Gate &g : qc.gates()) {
+                sim.applyGate(g);
+                if (isTwoQubit(g.type)) {
+                    const auto [f0, f1] = noise.sampleTwoQubitError(shot_rng);
+                    replay_events += f0 != PauliOp::I || f1 != PauliOp::I;
+                    if (f0 != PauliOp::I)
+                        sim.applyGate(Gate{ pauliGateType(f0), g.q0 });
+                    if (f1 != PauliOp::I)
+                        sim.applyGate(Gate{ pauliGateType(f1), g.q1 });
+                } else {
+                    const PauliOp f = noise.sampleSingleQubitError(shot_rng);
+                    if (f != PauliOp::I) {
+                        ++replay_events;
+                        sim.applyGate(Gate{ pauliGateType(f), g.q0 });
+                    }
+                }
+            }
+            replay_sum += sim.expectation(obs);
+        }
+
+        EXPECT_EQ(replay_events, batched.errorEvents) << "trial " << trial;
+        const double replay_expectation =
+            static_cast<double>(replay_sum) / static_cast<double>(shots);
+        EXPECT_EQ(replay_expectation, batched.expectation)
             << "trial " << trial;
     }
 }
